@@ -1,0 +1,138 @@
+#ifndef WDC_BENCH_COMMON_HPP
+#define WDC_BENCH_COMMON_HPP
+
+/// @file common.hpp
+/// Shared scaffolding for the figure/table reproduction harnesses.
+///
+/// Every bench binary accepts key=value overrides:
+///   reps=3 sim_time=2000 warmup=300 clients=30 seed=1 csv=out.csv threads=1
+/// plus any Scenario key (they are forwarded into the base scenario). Each run
+/// prints the reconstructed figure/table as an aligned text table (one row per
+/// x-value, one column per protocol) and optionally writes CSV for plotting.
+
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "engine/replication.hpp"
+#include "engine/simulation.hpp"
+#include "stats/table.hpp"
+#include "util/config.hpp"
+#include "util/string_util.hpp"
+
+namespace wdc::bench {
+
+struct BenchOpts {
+  unsigned reps = 3;
+  unsigned threads = 0;  // 0 = hardware
+  std::string csv;       // empty = don't write
+  Scenario base;         // bench-scale default scenario with CLI overrides applied
+};
+
+/// Bench-scale default operating point: small enough that a full sweep finishes
+/// in tens of seconds on one core, large enough that orderings are stable.
+inline Scenario default_scenario() {
+  Scenario s;
+  s.num_clients = 30;
+  s.db.num_items = 600;
+  s.sim_time_s = 2000.0;
+  s.warmup_s = 300.0;
+  s.seed = 20040426;  // IPDPS 2004
+  return s;
+}
+
+inline BenchOpts parse_options(int argc, char** argv) {
+  Config cfg;
+  cfg.load_args(argc, argv);
+  BenchOpts opts;
+  opts.reps = static_cast<unsigned>(cfg.get_int("reps", 3));
+  opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
+  opts.csv = cfg.get_string("csv", "");
+  Scenario base = default_scenario();
+  // Allow any scenario key as an override on top of the bench defaults.
+  Config defaults;
+  defaults.set("clients", std::to_string(base.num_clients));
+  defaults.set("items", std::to_string(base.db.num_items));
+  defaults.set("sim_time", strfmt("%g", base.sim_time_s));
+  defaults.set("warmup", strfmt("%g", base.warmup_s));
+  defaults.set("seed", std::to_string(base.seed));
+  for (const auto& [k, v] : cfg.items())
+    if (k != "reps" && k != "threads" && k != "csv") defaults.set(k, v);
+  opts.base = Scenario::from_config(defaults);
+  return opts;
+}
+
+inline void print_banner(const std::string& id, const std::string& title,
+                         const BenchOpts& opts) {
+  std::cout << "=== " << id << ": " << title << " ===\n";
+  std::cout << "(reconstructed evaluation — see EXPERIMENTS.md; " << opts.reps
+            << " replications per point, " << opts.base.sim_time_s
+            << "s simulated, " << opts.base.num_clients << " clients)\n\n";
+}
+
+/// One metric extracted from a run.
+using Field = std::function<double(const Metrics&)>;
+
+/// Sweep `xs` (applied via `apply`) for each protocol; returns mean `field`
+/// values indexed [protocol][x].
+struct SweepResult {
+  std::vector<std::vector<double>> mean;        // [p][x]
+  std::vector<std::vector<double>> half_width;  // [p][x]
+};
+
+inline SweepResult sweep(const BenchOpts& opts,
+                         const std::vector<ProtocolKind>& protocols,
+                         const std::vector<double>& xs,
+                         const std::function<void(Scenario&, double)>& apply,
+                         const Field& field) {
+  SweepResult out;
+  out.mean.resize(protocols.size());
+  out.half_width.resize(protocols.size());
+  for (std::size_t p = 0; p < protocols.size(); ++p) {
+    for (const double x : xs) {
+      Scenario s = opts.base;
+      s.protocol = protocols[p];
+      apply(s, x);
+      const auto reps = run_replications(s, opts.reps, opts.threads);
+      const auto ci = ci_of(reps, field);
+      out.mean[p].push_back(ci.mean);
+      out.half_width[p].push_back(ci.half_width);
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+  }
+  std::fprintf(stderr, "\n");
+  return out;
+}
+
+/// Render a sweep as the paper-style series table: x column + one column per
+/// protocol ("mean ± hw").
+inline void print_series(const std::string& x_name,
+                         const std::vector<double>& xs,
+                         const std::vector<ProtocolKind>& protocols,
+                         const SweepResult& r, const std::string& csv_path,
+                         int precision = 3) {
+  std::vector<std::string> cols{x_name};
+  for (const auto p : protocols) cols.push_back(to_string(p));
+  Table t(cols);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    t.begin_row();
+    t.cell(strfmt("%g", xs[i]));
+    for (std::size_t p = 0; p < protocols.size(); ++p)
+      t.cell_ci(r.mean[p][i], r.half_width[p][i], precision);
+  }
+  t.print_text(std::cout, "  ");
+  if (!csv_path.empty()) {
+    if (t.write_csv(csv_path))
+      std::cout << "\n  [csv written to " << csv_path << "]\n";
+    else
+      std::cout << "\n  [FAILED to write " << csv_path << "]\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace wdc::bench
+
+#endif  // WDC_BENCH_COMMON_HPP

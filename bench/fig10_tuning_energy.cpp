@@ -1,0 +1,51 @@
+/// FIG-10 — Selective tuning: the energy/latency frontier.
+///
+/// For each protocol, run always-on vs selectively-tuned radios and report the
+/// radio-on fraction (energy) against mean latency. Expected shape: tuning cuts
+/// radio-on time to ≈ (guard+rx)/L for the grid schemes at (nearly) unchanged
+/// latency for TS/UIR; PIG/HYB lose their early-answer advantage when dozing
+/// (latency reverts toward TS) — energy and digest-responsiveness trade off.
+/// LAIR's deferral window inflates the tuned listening budget: the hidden cost
+/// of report sliding.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("FIG-10", "selective tuning: radio-on time vs latency",
+                      opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kUir, ProtocolKind::kLair,
+      ProtocolKind::kHyb};
+
+  Table t({"protocol", "radio-on (always)", "latency (always)",
+           "radio-on (tuned)", "latency (tuned)"});
+  for (const auto p : protocols) {
+    double on[2], lat[2];
+    for (const int tuned : {0, 1}) {
+      Scenario s = opts.base;
+      s.protocol = p;
+      s.proto.selective_tuning = tuned == 1;
+      const auto reps = run_replications(s, opts.reps, opts.threads);
+      on[tuned] = ci_of(reps, [](const Metrics& m) { return m.radio_on_frac; }).mean;
+      lat[tuned] =
+          ci_of(reps, [](const Metrics& m) { return m.mean_latency_s; }).mean;
+      std::fprintf(stderr, ".");
+      std::fflush(stderr);
+    }
+    t.begin_row();
+    t.cell(to_string(p));
+    t.cell(on[0], 3);
+    t.cell(lat[0], 2);
+    t.cell(on[1], 3);
+    t.cell(lat[1], 2);
+  }
+  std::fprintf(stderr, "\n");
+  t.print_text(std::cout, "  ");
+  if (!opts.csv.empty() && t.write_csv(opts.csv))
+    std::cout << "\n  [csv written to " << opts.csv << "]\n";
+  std::cout << "\n";
+  return 0;
+}

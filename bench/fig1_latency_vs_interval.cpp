@@ -1,0 +1,28 @@
+/// FIG-1 — Mean query latency vs IR interval L.
+///
+/// The canonical first figure of every IR-scheme paper: latency grows ≈ L/2 for
+/// report-bound schemes; UIR flattens it by ≈ m; PIG/HYB flatten it further by
+/// answering at ambient-traffic timescales. Expected shape: TS/AT/SIG linear in
+/// L, UIR linear with slope/m, HYB nearly flat while traffic provides digests.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("FIG-1", "mean query latency vs IR interval L", opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kAt, ProtocolKind::kUir,
+      ProtocolKind::kPig, ProtocolKind::kHyb};
+  const std::vector<double> intervals = {5.0, 10.0, 20.0, 40.0, 60.0};
+
+  const auto result = bench::sweep(
+      opts, protocols, intervals,
+      [](Scenario& s, double L) { s.proto.ir_interval_s = L; },
+      [](const Metrics& m) { return m.mean_latency_s; });
+
+  std::cout << "mean query latency (s):\n";
+  bench::print_series("L (s)", intervals, protocols, result, opts.csv);
+  return 0;
+}

@@ -1,0 +1,29 @@
+/// FIG-2 — Cache hit ratio vs server update rate.
+///
+/// Expected shape: all schemes decay monotonically as updates invalidate cached
+/// copies faster than clients re-reference them. AT sits below TS (drops under
+/// any report loss); SIG tracks TS minus its false-invalidation tax; the digest
+/// schemes match TS (hit ratio is governed by invalidation, which they do not
+/// change) — their win is latency, not hit ratio (FIG-1).
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("FIG-2", "cache hit ratio vs update rate", opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kAt, ProtocolKind::kSig,
+      ProtocolKind::kUir, ProtocolKind::kHyb};
+  const std::vector<double> rates = {0.05, 0.2, 0.5, 1.0, 2.0, 5.0};
+
+  const auto result = bench::sweep(
+      opts, protocols, rates,
+      [](Scenario& s, double u) { s.db.update_rate = u; },
+      [](const Metrics& m) { return m.hit_ratio; });
+
+  std::cout << "cache hit ratio:\n";
+  bench::print_series("updates/s", rates, protocols, result, opts.csv, 4);
+  return 0;
+}

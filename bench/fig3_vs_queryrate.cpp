@@ -1,0 +1,35 @@
+/// FIG-3 — Latency and hit ratio vs per-client query rate.
+///
+/// Expected shape: hit ratio *rises* with query rate (more re-references between
+/// updates), so latency falls slightly until the miss traffic begins to load the
+/// downlink, after which item-queueing pushes latency back up.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("FIG-3", "latency & hit ratio vs per-client query rate",
+                      opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kUir, ProtocolKind::kHyb};
+  const std::vector<double> rates = {0.02, 0.05, 0.1, 0.2, 0.4};
+
+  const auto latency = bench::sweep(
+      opts, protocols, rates,
+      [](Scenario& s, double q) { s.query.rate = q; },
+      [](const Metrics& m) { return m.mean_latency_s; });
+  std::cout << "mean query latency (s):\n";
+  bench::print_series("q/s/client", rates, protocols, latency,
+                      opts.csv.empty() ? "" : "latency_" + opts.csv);
+
+  const auto hits = bench::sweep(
+      opts, protocols, rates,
+      [](Scenario& s, double q) { s.query.rate = q; },
+      [](const Metrics& m) { return m.hit_ratio; });
+  std::cout << "cache hit ratio:\n";
+  bench::print_series("q/s/client", rates, protocols, hits,
+                      opts.csv.empty() ? "" : "hits_" + opts.csv, 4);
+  return 0;
+}

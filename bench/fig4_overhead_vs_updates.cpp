@@ -1,0 +1,41 @@
+/// FIG-4 — Signalling overhead vs update rate: uplink requests per query and
+/// report bits on the downlink.
+///
+/// Expected shape: requests/query grow with update rate for every scheme (more
+/// invalidations ⇒ more misses). Report bits grow linearly for TS/AT/UIR
+/// (entries per report ∝ updates), stay FLAT for SIG (fixed signature budget —
+/// the two curves must cross), and grow for PIG/HYB via digest bits.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("FIG-4", "signalling overhead vs update rate", opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kSig, ProtocolKind::kUir,
+      ProtocolKind::kHyb};
+  const std::vector<double> rates = {0.1, 0.5, 1.0, 2.0, 5.0};
+
+  const auto req = bench::sweep(
+      opts, protocols, rates,
+      [](Scenario& s, double u) { s.db.update_rate = u; },
+      [](const Metrics& m) { return m.uplink_per_query; });
+  std::cout << "uplink requests per answered query:\n";
+  bench::print_series("updates/s", rates, protocols, req,
+                      opts.csv.empty() ? "" : "uplink_" + opts.csv);
+
+  const auto bits = bench::sweep(
+      opts, protocols, rates,
+      [](Scenario& s, double u) { s.db.update_rate = u; },
+      [](const Metrics& m) {
+        return (static_cast<double>(m.report_bits) +
+                static_cast<double>(m.piggyback_bits)) /
+               m.measured_s / 1000.0;  // kbit/s of signalling
+      });
+  std::cout << "signalling load on the downlink (kbit/s, reports + digests):\n";
+  bench::print_series("updates/s", rates, protocols, bits,
+                      opts.csv.empty() ? "" : "bits_" + opts.csv);
+  return 0;
+}

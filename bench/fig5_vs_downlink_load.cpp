@@ -1,0 +1,38 @@
+/// FIG-5 — The *downlink traffic* axis: query latency and data-frame queueing
+/// delay vs offered background downlink load.
+///
+/// Expected shape: report-bound schemes (TS/UIR) degrade as data traffic delays
+/// item broadcasts; PIG/HYB *improve* relative to them — every data frame is a
+/// consistency point, so more traffic means earlier answers. The crossover
+/// between UIR and PIG as load grows is the figure's story. Data queue delay
+/// grows for everyone (strict priority: reports pre-empt data).
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("FIG-5", "impact of downlink traffic load", opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kUir, ProtocolKind::kPig,
+      ProtocolKind::kHyb};
+  const std::vector<double> loads_kbps = {0.0, 10.0, 20.0, 40.0, 60.0};
+
+  const auto lat = bench::sweep(
+      opts, protocols, loads_kbps,
+      [](Scenario& s, double kbps) { s.traffic.offered_bps = kbps * 1000.0; },
+      [](const Metrics& m) { return m.mean_latency_s; });
+  std::cout << "mean query latency (s):\n";
+  bench::print_series("load kb/s", loads_kbps, protocols, lat,
+                      opts.csv.empty() ? "" : "latency_" + opts.csv);
+
+  const auto qd = bench::sweep(
+      opts, protocols, loads_kbps,
+      [](Scenario& s, double kbps) { s.traffic.offered_bps = kbps * 1000.0; },
+      [](const Metrics& m) { return m.data_queue_delay_s; });
+  std::cout << "background data frame queueing delay (s):\n";
+  bench::print_series("load kb/s", loads_kbps, protocols, qd,
+                      opts.csv.empty() ? "" : "qdelay_" + opts.csv);
+  return 0;
+}

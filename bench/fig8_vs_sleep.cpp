@@ -1,0 +1,36 @@
+/// FIG-8 — Disconnection tolerance: hit ratio and cache drops vs sleep ratio.
+///
+/// Expected shape: AT collapses first (any missed report ⇒ drop), TS survives
+/// until sleeps exceed w·L, SIG survives longest (huge window) at its constant
+/// overhead, UIR tracks TS. Cache-drop counts make the mechanism visible.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  opts.base.sleep.mean_sleep_s = 80.0;  // comparable to TS window w·L = 60
+  bench::print_banner("FIG-8", "impact of client disconnection (sleep)", opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kAt, ProtocolKind::kSig,
+      ProtocolKind::kUir};
+  const std::vector<double> ratios = {0.0, 0.1, 0.2, 0.3, 0.5};
+
+  const auto hit = bench::sweep(
+      opts, protocols, ratios,
+      [](Scenario& s, double r) { s.sleep.sleep_ratio = r; },
+      [](const Metrics& m) { return m.hit_ratio; });
+  std::cout << "cache hit ratio:\n";
+  bench::print_series("sleep ratio", ratios, protocols, hit,
+                      opts.csv.empty() ? "" : "hits_" + opts.csv, 4);
+
+  const auto drops = bench::sweep(
+      opts, protocols, ratios,
+      [](Scenario& s, double r) { s.sleep.sleep_ratio = r; },
+      [](const Metrics& m) { return static_cast<double>(m.cache_drops); });
+  std::cout << "cache drops (total across clients):\n";
+  bench::print_series("sleep ratio", ratios, protocols, drops,
+                      opts.csv.empty() ? "" : "drops_" + opts.csv, 1);
+  return 0;
+}

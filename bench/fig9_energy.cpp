@@ -1,0 +1,37 @@
+/// FIG-9 — Energy proxy: client listen-airtime per answered query, as the IR
+/// interval varies.
+///
+/// Expected shape: longer intervals mean less report airtime but longer waits
+/// (during which awake clients keep listening to item/data traffic), so the
+/// energy per query exhibits the classic U/monotone trade-off. SIG pays the
+/// most (big fixed reports); HYB's digests come almost free (they ride on
+/// frames clients would have received anyway).
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("FIG-9", "listen airtime per query (energy proxy)", opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kTs, ProtocolKind::kSig, ProtocolKind::kUir,
+      ProtocolKind::kHyb};
+  const std::vector<double> intervals = {5.0, 10.0, 20.0, 40.0};
+
+  const auto energy = bench::sweep(
+      opts, protocols, intervals,
+      [](Scenario& s, double L) { s.proto.ir_interval_s = L; },
+      [](const Metrics& m) { return m.listen_airtime_per_query; });
+  std::cout << "listen airtime per answered query (s):\n";
+  bench::print_series("L (s)", intervals, protocols, energy, opts.csv, 4);
+
+  const auto report_air = bench::sweep(
+      opts, protocols, intervals,
+      [](Scenario& s, double L) { s.proto.ir_interval_s = L; },
+      [](const Metrics& m) { return m.report_overhead_frac; });
+  std::cout << "report airtime fraction of the downlink:\n";
+  bench::print_series("L (s)", intervals, protocols, report_air,
+                      opts.csv.empty() ? "" : "overhead_" + opts.csv, 5);
+  return 0;
+}

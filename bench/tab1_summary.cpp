@@ -1,0 +1,65 @@
+/// TAB-1 — All seven protocols at the default operating point: every headline
+/// metric with 95% confidence intervals. The table a reviewer reads first.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("TAB-1", "protocol summary at the default operating point",
+                      opts);
+
+  struct Row {
+    const char* name;
+    bench::Field field;
+    int precision;
+  };
+  const std::vector<Row> rows = {
+      {"mean latency (s)", [](const Metrics& m) { return m.mean_latency_s; }, 2},
+      {"p90 latency (s)", [](const Metrics& m) { return m.p90_latency_s; }, 2},
+      {"hit ratio", [](const Metrics& m) { return m.hit_ratio; }, 3},
+      {"uplink req/query", [](const Metrics& m) { return m.uplink_per_query; }, 3},
+      {"report loss rate", [](const Metrics& m) { return m.report_loss_rate; }, 3},
+      {"cache drops", [](const Metrics& m) { return double(m.cache_drops); }, 1},
+      {"report kbit/s",
+       [](const Metrics& m) {
+         return (double(m.report_bits) + double(m.piggyback_bits)) /
+                m.measured_s / 1000.0;
+       },
+       2},
+      {"listen s/query",
+       [](const Metrics& m) { return m.listen_airtime_per_query; }, 3},
+      {"MAC busy frac", [](const Metrics& m) { return m.mac_busy_frac; }, 3},
+      {"stale serves", [](const Metrics& m) { return double(m.stale_serves); }, 0},
+  };
+
+  // Collect per-protocol replication sets once.
+  std::vector<std::vector<Metrics>> reps;
+  std::vector<ProtocolKind> protocols(std::begin(kAllProtocols),
+                                      std::end(kAllProtocols));
+  for (const auto p : protocols) {
+    Scenario s = opts.base;
+    s.protocol = p;
+    reps.push_back(run_replications(s, opts.reps, opts.threads));
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+
+  std::vector<std::string> cols{"metric"};
+  for (const auto p : protocols) cols.push_back(to_string(p));
+  Table t(cols);
+  for (const auto& row : rows) {
+    t.begin_row();
+    t.cell(row.name);
+    for (std::size_t p = 0; p < protocols.size(); ++p) {
+      const auto ci = ci_of(reps[p], row.field);
+      t.cell_ci(ci.mean, ci.half_width, row.precision);
+    }
+  }
+  t.print_text(std::cout, "  ");
+  if (!opts.csv.empty() && t.write_csv(opts.csv))
+    std::cout << "\n  [csv written to " << opts.csv << "]\n";
+  std::cout << "\n";
+  return 0;
+}

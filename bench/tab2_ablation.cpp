@@ -1,0 +1,78 @@
+/// TAB-2 — Ablation of HYB: remove each mechanism in turn and measure the cost.
+///
+///   HYB        full hybrid (LAIR sliding + piggyback digests + adaptive m)
+///   −slide     deferral window = 0 (reports on the nominal grid)
+///   −digest    piggybacking off (pig capacity 0 ⇒ digests never attach? —
+///              realised as UIR-with-sliding: compare against UIR instead)
+///   −adaptm    m pinned to 1 (full reports only + digests)
+///
+/// Realisation notes: "−digest" is UIR + LAIR-style sliding ≈ LAIR with minis;
+/// the closest runnable configuration is plain UIR (no slide, no digest) and
+/// LAIR (slide, no digest, no minis) — both included for triangulation.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  // A regime where all three mechanisms matter: moderate SNR, real traffic.
+  opts.base.mean_snr_db = 16.0;
+  opts.base.traffic.offered_bps = 25e3;
+  bench::print_banner("TAB-2", "HYB ablation", opts);
+
+  struct Variant {
+    std::string name;
+    std::function<void(Scenario&)> apply;
+  };
+  const std::vector<Variant> variants = {
+      {"HYB (full)", [](Scenario& s) { s.protocol = ProtocolKind::kHyb; }},
+      {"HYB -slide",
+       [](Scenario& s) {
+         s.protocol = ProtocolKind::kHyb;
+         s.proto.lair_window_s = 0.0;
+       }},
+      {"HYB -adaptm",
+       [](Scenario& s) {
+         s.protocol = ProtocolKind::kHyb;
+         s.proto.hyb_target_gap_s = s.proto.ir_interval_s;  // needed=1 ⇒ m=1
+       }},
+      {"UIR (no slide/digest)",
+       [](Scenario& s) { s.protocol = ProtocolKind::kUir; }},
+      {"LAIR (slide only)",
+       [](Scenario& s) { s.protocol = ProtocolKind::kLair; }},
+      {"PIG (digest only)",
+       [](Scenario& s) { s.protocol = ProtocolKind::kPig; }},
+  };
+
+  Table t({"variant", "latency (s)", "p90 (s)", "hit ratio", "report loss",
+           "signalling kbit/s"});
+  for (const auto& v : variants) {
+    Scenario s = opts.base;
+    v.apply(s);
+    const auto reps = run_replications(s, opts.reps, opts.threads);
+    const auto lat = ci_of(reps, [](const Metrics& m) { return m.mean_latency_s; });
+    const auto p90 = ci_of(reps, [](const Metrics& m) { return m.p90_latency_s; });
+    const auto hit = ci_of(reps, [](const Metrics& m) { return m.hit_ratio; });
+    const auto loss =
+        ci_of(reps, [](const Metrics& m) { return m.report_loss_rate; });
+    const auto sig = ci_of(reps, [](const Metrics& m) {
+      return (double(m.report_bits) + double(m.piggyback_bits)) / m.measured_s /
+             1000.0;
+    });
+    t.begin_row();
+    t.cell(v.name);
+    t.cell_ci(lat.mean, lat.half_width, 2);
+    t.cell_ci(p90.mean, p90.half_width, 2);
+    t.cell_ci(hit.mean, hit.half_width, 3);
+    t.cell_ci(loss.mean, loss.half_width, 4);
+    t.cell_ci(sig.mean, sig.half_width, 2);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  t.print_text(std::cout, "  ");
+  if (!opts.csv.empty() && t.write_csv(opts.csv))
+    std::cout << "\n  [csv written to " << opts.csv << "]\n";
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+/// TAB-3 — IR schemes against the non-IR anchors (NC, PER, BS).
+///
+/// Expected shape: NC has the lowest latency on an idle channel but the highest
+/// uplink cost and zero hit ratio, and it saturates the downlink first as query
+/// load grows. PER matches IR hit ratios with sub-second validation latency but
+/// pays one uplink message per read — the per-read cost that IR broadcasting
+/// amortises away (watch uplink msgs/query). BS tracks TS with a fixed ~2N-bit
+/// report and a bigger disconnection window. CBL (stateful leases + callbacks)
+/// answers leased reads with ZERO wait — and is the only column whose `stale`
+/// cell is non-zero under fading/sleep: the measured consistency violations that
+/// motivate the stateless IR family.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  auto opts = bench::parse_options(argc, argv);
+  bench::print_banner("TAB-3", "IR schemes vs non-IR baselines", opts);
+
+  const std::vector<ProtocolKind> protocols = {
+      ProtocolKind::kNc,  ProtocolKind::kPer, ProtocolKind::kCbl,
+      ProtocolKind::kBs,  ProtocolKind::kTs,  ProtocolKind::kUir,
+      ProtocolKind::kHyb};
+
+  Table t({"protocol", "latency (s)", "hit ratio", "uplink msg/query",
+           "report kbit/s", "MAC busy", "stale"});
+  for (const auto p : protocols) {
+    Scenario s = opts.base;
+    s.protocol = p;
+    const auto reps = run_replications(s, opts.reps, opts.threads);
+    const auto lat = ci_of(reps, [](const Metrics& m) { return m.mean_latency_s; });
+    const auto hit = ci_of(reps, [](const Metrics& m) { return m.hit_ratio; });
+    const auto up = ci_of(reps, [](const Metrics& m) { return m.uplink_per_query; });
+    const auto bits = ci_of(reps, [](const Metrics& m) {
+      return (double(m.report_bits) + double(m.piggyback_bits)) / m.measured_s /
+             1000.0;
+    });
+    const auto busy = ci_of(reps, [](const Metrics& m) { return m.mac_busy_frac; });
+    const auto stale =
+        ci_of(reps, [](const Metrics& m) { return double(m.stale_serves); });
+    t.begin_row();
+    t.cell(to_string(p));
+    t.cell_ci(lat.mean, lat.half_width, 2);
+    t.cell_ci(hit.mean, hit.half_width, 3);
+    t.cell_ci(up.mean, up.half_width, 3);
+    t.cell_ci(bits.mean, bits.half_width, 2);
+    t.cell_ci(busy.mean, busy.half_width, 3);
+    t.cell(stale.mean, 0);
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  t.print_text(std::cout, "  ");
+  if (!opts.csv.empty() && t.write_csv(opts.csv))
+    std::cout << "\n  [csv written to " << opts.csv << "]\n";
+  std::cout << "\n";
+  return 0;
+}

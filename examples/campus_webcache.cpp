@@ -1,0 +1,91 @@
+/// @file campus_webcache.cpp
+/// Scenario example: a campus hotspot cell serving cached web objects.
+///
+/// 60 laptops/PDAs spread over a 400 m cell (path-loss SNR assignment), bursty
+/// Pareto web traffic on the downlink, pedestrian Doppler, light sleep (lids
+/// closing). The question a deployment engineer asks: which invalidation scheme
+/// keeps page-object queries fast while the cell is busy? Runs 3 replications
+/// per protocol and prints a ranked comparison with 95% confidence intervals.
+///
+/// Usage: ./campus_webcache [reps=3] [any scenario key=value …]
+
+#include <algorithm>
+#include <iostream>
+
+#include "engine/replication.hpp"
+#include "engine/simulation.hpp"
+#include "stats/table.hpp"
+#include "util/config.hpp"
+#include "util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace wdc;
+  Config cfg;
+  cfg.load_args(argc, argv);
+  const auto reps = static_cast<unsigned>(cfg.get_int("reps", 3));
+
+  Scenario base;
+  base.num_clients = 60;
+  base.db.num_items = 2000;               // cacheable page objects
+  base.db.item_bits = bits_from_bytes(800);
+  base.db.update_rate = 0.3;              // CMS edits
+  base.query.rate = 0.08;
+  base.query.hot_items = 150;             // the portal pages
+  base.snr_assignment = SnrAssignment::kPathLoss;
+  base.tx_power_dbm = 24.0;
+  base.cell.radius_m = 400.0;
+  base.traffic.model = TrafficModel::kParetoBurst;
+  base.traffic.offered_bps = 30e3;        // busy shared downlink
+  base.fading.doppler_hz = 4.0;           // walking speed
+  base.sleep.sleep_ratio = 0.1;
+  base.sleep.mean_sleep_s = 60.0;
+  base.sim_time_s = cfg.get_double("sim_time", 2500.0);
+  base.warmup_s = cfg.get_double("warmup", 400.0);
+  base.seed = static_cast<std::uint64_t>(cfg.get_int("seed", 17));
+
+  std::cout << "campus_webcache — " << base.num_clients << " clients, "
+            << base.db.num_items << " objects, bursty downlink "
+            << base.traffic.offered_bps / 1000.0 << " kb/s, " << reps
+            << " replications per protocol\n\n";
+
+  struct Row {
+    ProtocolKind kind;
+    double latency, latency_hw, p90, hit, energy;
+  };
+  std::vector<Row> rows;
+  for (const auto kind : kAllProtocols) {
+    Scenario s = base;
+    s.protocol = kind;
+    const auto rs = run_replications(s, reps, 0);
+    const auto lat = ci_of(rs, [](const Metrics& m) { return m.mean_latency_s; });
+    rows.push_back(
+        {kind, lat.mean, lat.half_width,
+         ci_of(rs, [](const Metrics& m) { return m.p90_latency_s; }).mean,
+         ci_of(rs, [](const Metrics& m) { return m.hit_ratio; }).mean,
+         ci_of(rs, [](const Metrics& m) { return m.listen_airtime_per_query; })
+             .mean});
+    std::cout << "  simulated " << to_string(kind) << "\n";
+  }
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.latency < b.latency; });
+
+  std::cout << "\nranked by mean query latency:\n\n";
+  Table t({"rank", "protocol", "latency (s)", "p90 (s)", "hit ratio",
+           "listen s/query"});
+  int rank = 1;
+  for (const auto& r : rows) {
+    t.begin_row();
+    t.cell(strfmt("%d", rank++));
+    t.cell(to_string(r.kind));
+    t.cell_ci(r.latency, r.latency_hw, 2);
+    t.cell(r.p90, 2);
+    t.cell(r.hit, 3);
+    t.cell(r.energy, 3);
+  }
+  t.print_text(std::cout, "  ");
+  std::cout << "\nReading: the digest-bearing schemes (HYB/PIG) should lead — on a"
+               "\nbusy downlink every data burst doubles as an invalidation "
+               "beacon.\n";
+  return 0;
+}

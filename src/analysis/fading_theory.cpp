@@ -1,0 +1,34 @@
+#include "analysis/fading_theory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wdc::analysis {
+
+namespace {
+constexpr double kSqrt2Pi = 2.5066282746310002;
+
+double rho_of(double threshold_db, double mean_snr_db) {
+  return std::sqrt(std::pow(10.0, (threshold_db - mean_snr_db) / 10.0));
+}
+}  // namespace
+
+double rayleigh_outage_prob(double threshold_db, double mean_snr_db) {
+  const double rho = rho_of(threshold_db, mean_snr_db);
+  return 1.0 - std::exp(-rho * rho);
+}
+
+double rayleigh_lcr(double threshold_db, double mean_snr_db, double doppler_hz) {
+  if (doppler_hz <= 0.0) throw std::invalid_argument("rayleigh_lcr: doppler > 0");
+  const double rho = rho_of(threshold_db, mean_snr_db);
+  return kSqrt2Pi * doppler_hz * rho * std::exp(-rho * rho);
+}
+
+double rayleigh_afd(double threshold_db, double mean_snr_db, double doppler_hz) {
+  if (doppler_hz <= 0.0) throw std::invalid_argument("rayleigh_afd: doppler > 0");
+  const double rho = rho_of(threshold_db, mean_snr_db);
+  if (rho <= 0.0) return 0.0;
+  return (std::exp(rho * rho) - 1.0) / (rho * doppler_hz * kSqrt2Pi);
+}
+
+}  // namespace wdc::analysis

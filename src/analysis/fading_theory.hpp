@@ -1,0 +1,27 @@
+#ifndef WDC_ANALYSIS_FADING_THEORY_HPP
+#define WDC_ANALYSIS_FADING_THEORY_HPP
+
+/// @file fading_theory.hpp
+/// Rayleigh second-order statistics (Jakes spectrum): level-crossing rate,
+/// average fade duration, outage probability. Used to cross-validate the Jakes
+/// and FSMC channel models, and to reason about LAIR's deferral window (a slide
+/// helps when the window exceeds the average fade duration at the decode
+/// threshold).
+
+namespace wdc::analysis {
+
+/// P(instantaneous SNR < threshold) for Rayleigh with the given mean SNR:
+/// 1 − exp(−γ_thr/γ̄), arguments in dB.
+double rayleigh_outage_prob(double threshold_db, double mean_snr_db);
+
+/// Level-crossing rate (crossings/s, downward) at the threshold:
+/// N(ρ) = √(2π)·f_d·ρ·exp(−ρ²) with ρ = √(γ_thr/γ̄).
+double rayleigh_lcr(double threshold_db, double mean_snr_db, double doppler_hz);
+
+/// Average fade duration below the threshold:
+/// AFD = (exp(ρ²) − 1) / (ρ·f_d·√(2π)).
+double rayleigh_afd(double threshold_db, double mean_snr_db, double doppler_hz);
+
+}  // namespace wdc::analysis
+
+#endif  // WDC_ANALYSIS_FADING_THEORY_HPP

@@ -1,0 +1,90 @@
+#include "analysis/ir_theory.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wdc::analysis {
+
+double expected_consistency_wait(double interval_s, unsigned m) {
+  if (interval_s <= 0.0 || m == 0)
+    throw std::invalid_argument("expected_consistency_wait: bad args");
+  return interval_s / (2.0 * static_cast<double>(m));
+}
+
+double expected_wait_with_loss(double interval_s, unsigned m, double loss) {
+  if (!(loss >= 0.0 && loss < 1.0))
+    throw std::invalid_argument("expected_wait_with_loss: loss in [0,1)");
+  const double gap = interval_s / static_cast<double>(m);
+  return expected_consistency_wait(interval_s, m) + gap * loss / (1.0 - loss);
+}
+
+double sleep_drop_prob(double window_s, double mean_sleep_s) {
+  if (mean_sleep_s <= 0.0) return 0.0;
+  return std::exp(-window_s / mean_sleep_s);
+}
+
+double expected_distinct_updates(double window_s, double update_rate,
+                                 std::uint32_t num_items, std::uint32_t hot_items,
+                                 double hot_frac) {
+  if (num_items == 0) throw std::invalid_argument("expected_distinct_updates");
+  if (hot_items > num_items) hot_items = num_items;
+  const double hot = static_cast<double>(hot_items);
+  const double cold = static_cast<double>(num_items - hot_items);
+  double expected = 0.0;
+  if (hot > 0.0) {
+    const double per_item = update_rate * hot_frac / hot;
+    expected += hot * (1.0 - std::exp(-per_item * window_s));
+  }
+  if (cold > 0.0) {
+    const double per_item = update_rate * (1.0 - hot_frac) / cold;
+    expected += cold * (1.0 - std::exp(-per_item * window_s));
+  }
+  return expected;
+}
+
+double expected_ts_report_bits(double window_s, double update_rate,
+                               std::uint32_t num_items, std::uint32_t hot_items,
+                               double hot_frac, std::uint64_t header_bits,
+                               std::uint64_t entry_bits) {
+  return static_cast<double>(header_bits) +
+         static_cast<double>(entry_bits) *
+             expected_distinct_updates(window_s, update_rate, num_items, hot_items,
+                                       hot_frac);
+}
+
+double hit_ratio_upper_bound(double client_query_rate, double query_hot_frac,
+                             std::uint32_t query_hot_items, double update_rate,
+                             double update_hot_frac, std::uint32_t update_hot_items,
+                             std::uint32_t num_items) {
+  if (num_items == 0) throw std::invalid_argument("hit_ratio_upper_bound");
+  const auto per_item_update = [&](std::uint32_t id) {
+    double rate = 0.0;
+    if (id < update_hot_items)
+      rate += update_rate * update_hot_frac / static_cast<double>(update_hot_items);
+    else if (num_items > update_hot_items)
+      rate += update_rate * (1.0 - update_hot_frac) /
+              static_cast<double>(num_items - update_hot_items);
+    return rate;
+  };
+  const auto per_item_query = [&](std::uint32_t id) {
+    double rate = 0.0;
+    if (id < query_hot_items)
+      rate += client_query_rate * query_hot_frac /
+              static_cast<double>(query_hot_items);
+    else if (num_items > query_hot_items)
+      rate += client_query_rate * (1.0 - query_hot_frac) /
+              static_cast<double>(num_items - query_hot_items);
+    return rate;
+  };
+  double hit = 0.0;
+  double total_q = 0.0;
+  for (std::uint32_t id = 0; id < num_items; ++id) {
+    const double q = per_item_query(id);
+    const double u = per_item_update(id);
+    total_q += q;
+    if (q > 0.0) hit += q * (q / (q + u));
+  }
+  return total_q > 0.0 ? hit / total_q : 0.0;
+}
+
+}  // namespace wdc::analysis

@@ -1,0 +1,55 @@
+#ifndef WDC_ANALYSIS_IR_THEORY_HPP
+#define WDC_ANALYSIS_IR_THEORY_HPP
+
+/// @file ir_theory.hpp
+/// Closed-form expectations for IR-based invalidation — the analytic results the
+/// classic papers derive, used here to cross-validate the simulator (the
+/// tests/analysis suite asserts simulation ≈ theory where theory exists).
+
+#include <cstdint>
+
+namespace wdc::analysis {
+
+/// Expected wait from a Poisson-arriving query to the next consistency point
+/// when points are evenly spaced every `interval_s / m` (TS: m = 1, UIR: m
+/// points per interval): interval/(2m).
+double expected_consistency_wait(double interval_s, unsigned m = 1);
+
+/// Effective mean wait when each point is independently missed (decode failure)
+/// with probability `loss`: the residual wait plus loss·gap geometric repeats,
+///   interval/(2m) + interval/m · loss/(1−loss).
+double expected_wait_with_loss(double interval_s, unsigned m, double loss);
+
+/// Probability an exponential sleep episode (mean `mean_sleep_s`) exceeds the
+/// coverage window `window_s` — the per-episode TS cache-drop probability.
+double sleep_drop_prob(double window_s, double mean_sleep_s);
+
+/// Expected number of DISTINCT items updated in a window of `window_s` seconds
+/// under the hot/cold Poisson update process (rate split hot_frac on hot_items).
+/// Distinct count per class n with per-item rate r: n·(1 − e^{−r·w}).
+double expected_distinct_updates(double window_s, double update_rate,
+                                 std::uint32_t num_items, std::uint32_t hot_items,
+                                 double hot_frac);
+
+/// TS full-report wire size expectation (bits) given the distinct-update count.
+double expected_ts_report_bits(double window_s, double update_rate,
+                               std::uint32_t num_items, std::uint32_t hot_items,
+                               double hot_frac, std::uint64_t header_bits,
+                               std::uint64_t entry_bits);
+
+/// Steady-state upper-bound hit ratio of an uncapacitated per-client cache under
+/// the hot/cold query/update model with consistency interval L:
+/// an arriving query for item i hits iff the item was queried by this client
+/// more recently than its last effective invalidation. With per-client per-item
+/// query rate q_i and per-item update rate u_i (both Poisson), the renewal
+/// argument gives P(hit_i) = q_i / (q_i + u_i), aggregated over the query mix.
+/// Ignores capacity, cold start, cache drops and report quantisation — an upper
+/// bound the simulator must stay below (and approach as those effects vanish).
+double hit_ratio_upper_bound(double client_query_rate, double query_hot_frac,
+                             std::uint32_t query_hot_items, double update_rate,
+                             double update_hot_frac, std::uint32_t update_hot_items,
+                             std::uint32_t num_items);
+
+}  // namespace wdc::analysis
+
+#endif  // WDC_ANALYSIS_IR_THEORY_HPP

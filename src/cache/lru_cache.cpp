@@ -1,0 +1,71 @@
+#include "cache/lru_cache.hpp"
+
+#include <stdexcept>
+
+namespace wdc {
+
+LruCache::LruCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("LruCache: capacity > 0");
+}
+
+const CacheEntry* LruCache::peek(ItemId id) const {
+  const auto it = map_.find(id);
+  return it == map_.end() ? nullptr : &*it->second;
+}
+
+CacheEntry* LruCache::get(ItemId id) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &*it->second;
+}
+
+std::optional<ItemId> LruCache::put(const CacheEntry& entry) {
+  if (entry.id == kInvalidItem) throw std::invalid_argument("LruCache::put: bad id");
+  if (const auto it = map_.find(entry.id); it != map_.end()) {
+    *it->second = entry;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return std::nullopt;
+  }
+  lru_.push_front(entry);
+  map_[entry.id] = lru_.begin();
+  if (map_.size() > capacity_) {
+    const ItemId victim = lru_.back().id;
+    map_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+    return victim;
+  }
+  return std::nullopt;
+}
+
+void LruCache::revalidate_all(SimTime consistency_point) {
+  for (auto& e : lru_) e.validated_at = consistency_point;
+}
+
+bool LruCache::erase(ItemId id) {
+  const auto it = map_.find(id);
+  if (it == map_.end()) return false;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void LruCache::clear() {
+  if (!map_.empty()) ++clears_;
+  lru_.clear();
+  map_.clear();
+}
+
+std::vector<ItemId> LruCache::resident() const {
+  std::vector<ItemId> out;
+  out.reserve(map_.size());
+  for (const auto& e : lru_) out.push_back(e.id);
+  return out;
+}
+
+}  // namespace wdc

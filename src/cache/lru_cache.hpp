@@ -1,0 +1,89 @@
+#ifndef WDC_CACHE_LRU_CACHE_HPP
+#define WDC_CACHE_LRU_CACHE_HPP
+
+/// @file lru_cache.hpp
+/// The client-side item cache: LRU replacement, capacity in items.
+///
+/// Each entry remembers when its copy was fetched/validated so invalidation
+/// protocols can reason about consistency:
+///  * `version_time` — server update time of the copy the client holds (the copy is
+///    "as of" this time);
+///  * `validated_at` — last consistency point at which the entry was certified
+///    valid (report application time).
+/// O(1) get/put/invalidate via hash map + intrusive list (std::list + iterators).
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wdc {
+
+struct CacheEntry {
+  ItemId id = kInvalidItem;
+  Version version = 0;        ///< server version counter of the held copy
+  SimTime version_time = 0.0; ///< server-side time the copy corresponds to
+  SimTime validated_at = 0.0; ///< latest consistency point certifying validity
+};
+
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  /// Lookup without touching recency. nullptr if absent.
+  const CacheEntry* peek(ItemId id) const;
+
+  /// Lookup and mark most-recently-used. nullptr if absent.
+  CacheEntry* get(ItemId id);
+
+  /// Insert or overwrite; marks MRU; evicts LRU if over capacity.
+  /// Returns the evicted item id, if any.
+  std::optional<ItemId> put(const CacheEntry& entry);
+
+  /// Update the validation stamp of every resident entry (after a report certifies
+  /// the whole cache).
+  void revalidate_all(SimTime consistency_point);
+
+  /// Remove one entry. Returns true if it was present.
+  bool erase(ItemId id);
+
+  /// Drop everything (protocol fallback after losing report continuity).
+  void clear();
+
+  /// Ids of all resident entries (unspecified order).
+  std::vector<ItemId> resident() const;
+
+  // Lifetime counters (monotonic).
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t invalidations() const { return invalidations_; }
+  std::uint64_t clears() const { return clears_; }
+
+  /// Count an invalidation (callers use erase(); this separates protocol-initiated
+  /// invalidation from capacity eviction in the stats).
+  void note_invalidation() { ++invalidations_; }
+
+ private:
+  using LruList = std::list<CacheEntry>;
+
+  std::size_t capacity_;
+  LruList lru_;  ///< front = MRU
+  std::unordered_map<ItemId, LruList::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::uint64_t clears_ = 0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_CACHE_LRU_CACHE_HPP

@@ -1,0 +1,39 @@
+#include "channel/gilbert_elliott.hpp"
+
+namespace wdc {
+
+GilbertElliott::GilbertElliott(double mean_good_s, double mean_bad_s,
+                               double good_snr_db, double bad_snr_db, Rng rng)
+    : good_hold_(1.0 / mean_good_s),
+      bad_hold_(1.0 / mean_bad_s),
+      good_snr_db_(good_snr_db),
+      bad_snr_db_(bad_snr_db),
+      rng_(rng) {
+  // Start Good with the stationary probability, then draw the first sojourn.
+  is_good_ = rng_.bernoulli(stationary_good());
+  next_switch_ = (is_good_ ? good_hold_ : bad_hold_).sample(rng_);
+}
+
+void GilbertElliott::advance(SimTime t) {
+  while (next_switch_ <= t) {
+    is_good_ = !is_good_;
+    next_switch_ += (is_good_ ? good_hold_ : bad_hold_).sample(rng_);
+  }
+}
+
+bool GilbertElliott::good(SimTime t) {
+  advance(t);
+  return is_good_;
+}
+
+double GilbertElliott::snr_db(SimTime t) {
+  return good(t) ? good_snr_db_ : bad_snr_db_;
+}
+
+double GilbertElliott::stationary_good() const {
+  const double mg = good_hold_.mean();
+  const double mb = bad_hold_.mean();
+  return mg / (mg + mb);
+}
+
+}  // namespace wdc

@@ -1,0 +1,45 @@
+#ifndef WDC_CHANNEL_GILBERT_ELLIOTT_HPP
+#define WDC_CHANNEL_GILBERT_ELLIOTT_HPP
+
+/// @file gilbert_elliott.hpp
+/// Classic two-state Gilbert–Elliott burst-error channel, kept as the simplest
+/// baseline channel model (and for tests that need analytically known behaviour).
+/// Continuous-time variant: exponential sojourns in Good/Bad.
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+
+class GilbertElliott {
+ public:
+  /// @param mean_good_s  mean sojourn in Good
+  /// @param mean_bad_s   mean sojourn in Bad
+  /// @param good_snr_db  SNR reported while Good
+  /// @param bad_snr_db   SNR reported while Bad
+  GilbertElliott(double mean_good_s, double mean_bad_s, double good_snr_db,
+                 double bad_snr_db, Rng rng);
+
+  /// True if the channel is Good at time t (t non-decreasing across calls).
+  bool good(SimTime t);
+  double snr_db(SimTime t);
+
+  /// Stationary probability of Good.
+  double stationary_good() const;
+
+ private:
+  void advance(SimTime t);
+
+  Exponential good_hold_;
+  Exponential bad_hold_;
+  double good_snr_db_;
+  double bad_snr_db_;
+  Rng rng_;
+  bool is_good_ = true;
+  SimTime next_switch_ = 0.0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_CHANNEL_GILBERT_ELLIOTT_HPP

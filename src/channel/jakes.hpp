@@ -1,0 +1,48 @@
+#ifndef WDC_CHANNEL_JAKES_HPP
+#define WDC_CHANNEL_JAKES_HPP
+
+/// @file jakes.hpp
+/// Rayleigh fast fading via a sum-of-sinusoids Jakes simulator (Pop–Beaulieu
+/// improved variant with random phases). Produces a *time-coherent* power gain
+/// g(t) = |h(t)|², E[g] = 1, with autocorrelation ≈ J₀(2π·f_d·τ)² — the property
+/// link adaptation exploits (good now ⇒ probably good a moment later).
+///
+/// Being a deterministic function of t given the random phases, g(t) can be
+/// evaluated at arbitrary event times with no state advance — ideal for
+/// discrete-event use.
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wdc {
+
+class JakesFader {
+ public:
+  /// @param doppler_hz maximum Doppler frequency f_d = v/λ (e.g. 1.2 m/s at 900 MHz
+  ///                   ⇒ ≈3.6 Hz pedestrian; 14 m/s ⇒ ≈42 Hz vehicular)
+  /// @param rng        source of the oscillator phases
+  /// @param oscillators number of sinusoids per quadrature branch (≥8 recommended)
+  JakesFader(double doppler_hz, Rng& rng, unsigned oscillators = 16);
+
+  /// Instantaneous power gain |h(t)|² (linear, mean ≈ 1).
+  double power_gain(SimTime t) const;
+
+  /// Power gain in dB.
+  double power_gain_db(SimTime t) const;
+
+  double doppler_hz() const { return doppler_hz_; }
+
+ private:
+  double doppler_hz_;
+  // Per-oscillator Doppler shift (rad/s) and phases for the I and Q branches.
+  std::vector<double> omega_;
+  std::vector<double> phi_i_;
+  std::vector<double> phi_q_;
+  double norm_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_CHANNEL_JAKES_HPP

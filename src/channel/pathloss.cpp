@@ -1,0 +1,20 @@
+#include "channel/pathloss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wdc {
+
+double PathLossModel::loss_db(double d_m) const {
+  const double d = std::max(d_m, ref_distance_m);
+  return ref_loss_db + 10.0 * exponent * std::log10(d / ref_distance_m);
+}
+
+double CellGeometry::sample_distance(Rng& rng) const {
+  // Uniform by area: r = sqrt(U*(R²−r0²)+r0²).
+  const double r0sq = min_radius_m * min_radius_m;
+  const double rsq = rng.uniform() * (radius_m * radius_m - r0sq) + r0sq;
+  return std::sqrt(rsq);
+}
+
+}  // namespace wdc

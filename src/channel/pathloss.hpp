@@ -1,0 +1,35 @@
+#ifndef WDC_CHANNEL_PATHLOSS_HPP
+#define WDC_CHANNEL_PATHLOSS_HPP
+
+/// @file pathloss.hpp
+/// Large-scale propagation: log-distance path loss and cell geometry.
+///
+/// PL(d) = PL(d0) + 10·n·log10(d/d0)   [dB]
+/// with reference distance d0, exponent n (2 free space … 4 dense urban).
+
+#include "util/rng.hpp"
+
+namespace wdc {
+
+struct PathLossModel {
+  double ref_loss_db = 30.0;   ///< PL(d0) at the reference distance
+  double ref_distance_m = 1.0; ///< d0
+  double exponent = 3.0;       ///< n
+
+  /// Path loss in dB at distance `d_m` (clamped to >= d0).
+  double loss_db(double d_m) const;
+};
+
+/// Circular cell geometry; clients are dropped uniformly *by area* in the annulus
+/// [min_radius, radius] around the base station.
+struct CellGeometry {
+  double radius_m = 500.0;
+  double min_radius_m = 10.0;
+
+  /// Sample a client distance from the base station.
+  double sample_distance(Rng& rng) const;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_CHANNEL_PATHLOSS_HPP

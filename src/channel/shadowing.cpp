@@ -1,0 +1,26 @@
+#include "channel/shadowing.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace wdc {
+
+Shadowing::Shadowing(double sigma_db, double decorr_time, Rng rng)
+    : sigma_db_(sigma_db), decorr_time_(decorr_time), rng_(rng) {
+  value_db_ = sigma_db_ > 0.0 ? sigma_db_ * unit_normal_.sample(rng_) : 0.0;
+}
+
+double Shadowing::gain_db(SimTime t) {
+  if (sigma_db_ <= 0.0) return 0.0;
+  if (decorr_time_ <= 0.0 || t <= last_t_) return value_db_;
+  // Ornstein–Uhlenbeck exact discretisation: stationary N(0, sigma²) with
+  // autocorrelation exp(-Δt/τ).
+  const double dt = t - last_t_;
+  const double rho = std::exp(-dt / decorr_time_);
+  const double innov = std::sqrt(1.0 - rho * rho) * sigma_db_;
+  value_db_ = rho * value_db_ + innov * unit_normal_.sample(rng_);
+  last_t_ = t;
+  return value_db_;
+}
+
+}  // namespace wdc

@@ -1,0 +1,37 @@
+#ifndef WDC_CHANNEL_SHADOWING_HPP
+#define WDC_CHANNEL_SHADOWING_HPP
+
+/// @file shadowing.hpp
+/// Lognormal shadow fading. Shadowing is quasi-static per client (drawn once at
+/// placement) with an optional slow exponentially-correlated drift (Gudmundson-style
+/// decorrelation) so long runs see shadowing dynamics without per-event cost.
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+
+class Shadowing {
+ public:
+  /// @param sigma_db    standard deviation of the dB-domain Gaussian (0 disables)
+  /// @param decorr_time time constant of the OU drift in seconds (<=0: static)
+  Shadowing(double sigma_db, double decorr_time, Rng rng);
+
+  /// Shadowing gain in dB at time `t`. Calls must be non-decreasing in `t`.
+  double gain_db(SimTime t);
+
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  double sigma_db_;
+  double decorr_time_;
+  Rng rng_;
+  Normal unit_normal_{0.0, 1.0};
+  SimTime last_t_ = 0.0;
+  double value_db_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_CHANNEL_SHADOWING_HPP

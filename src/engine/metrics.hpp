@@ -1,0 +1,83 @@
+#ifndef WDC_ENGINE_METRICS_HPP
+#define WDC_ENGINE_METRICS_HPP
+
+/// @file metrics.hpp
+/// Flattened result record of one simulation run — every number a bench or test
+/// might want, as plain doubles/counters so replications aggregate trivially.
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "util/types.hpp"
+
+namespace wdc {
+
+struct Metrics {
+  // --- run identity ---
+  std::uint64_t seed = 0;
+  double sim_time_s = 0.0;
+  double measured_s = 0.0;  ///< sim_time − warmup
+  std::uint64_t events = 0;
+
+  // --- query service ---
+  std::uint64_t queries = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale_serves = 0;  ///< consistency violations (must be 0)
+  std::uint64_t dropped_queries = 0;
+  double hit_ratio = 0.0;
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p90_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_hit_latency_s = 0.0;
+  double mean_miss_latency_s = 0.0;
+
+  // --- uplink ---
+  std::uint64_t uplink_requests = 0;
+  double uplink_per_query = 0.0;
+  std::uint64_t request_retries = 0;
+
+  // --- reports / cache dynamics ---
+  std::uint64_t reports_sent = 0;
+  std::uint64_t minis_sent = 0;
+  std::uint64_t reports_heard = 0;
+  std::uint64_t reports_missed = 0;
+  double report_loss_rate = 0.0;  ///< missed / (heard + missed)
+  std::uint64_t cache_drops = 0;
+  std::uint64_t false_invalidations = 0;
+  std::uint64_t digests_applied = 0;
+  std::uint64_t digest_answers = 0;
+
+  // --- downlink airtime ---
+  double mac_busy_frac = 0.0;
+  double report_airtime_s = 0.0;   ///< IR + mini airtime
+  double item_airtime_s = 0.0;
+  double data_airtime_s = 0.0;
+  double report_overhead_frac = 0.0;  ///< report airtime / measured time
+  double data_queue_delay_s = 0.0;    ///< mean MAC queueing of data frames
+  double mean_broadcast_mcs = 0.0;
+  Bits report_bits = 0;
+  Bits piggyback_bits = 0;
+  std::uint64_t item_broadcasts = 0;
+  std::uint64_t coalesced_requests = 0;
+  std::uint64_t data_frames_dropped = 0;
+
+  // --- energy proxy ---
+  double listen_airtime_s = 0.0;       ///< summed over clients
+  double listen_airtime_per_query = 0.0;
+  double radio_on_frac = 0.0;          ///< mean fraction of time radios were powered
+
+  // --- new-algorithm telemetry ---
+  std::uint64_t lair_deferred = 0;
+  double lair_mean_deferral_s = 0.0;
+  double hyb_mean_m = 0.0;
+
+  /// Human-readable dump (examples use it).
+  void print(std::ostream& os) const;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_ENGINE_METRICS_HPP

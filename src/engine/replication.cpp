@@ -1,0 +1,135 @@
+#include "engine/replication.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "engine/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace wdc {
+
+std::vector<Metrics> run_replications(const Scenario& scenario, unsigned reps,
+                                      unsigned threads) {
+  if (reps == 0) return {};
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  threads = std::min(threads, reps);
+
+  // Pre-derive per-replication seeds so results don't depend on scheduling.
+  std::vector<std::uint64_t> seeds(reps);
+  SplitMix64 seeder(scenario.seed);
+  for (auto& s : seeds) s = seeder.next();
+
+  std::vector<Metrics> results(reps);
+  std::atomic<unsigned> next{0};
+  const auto worker = [&] {
+    for (;;) {
+      const unsigned i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= reps) return;
+      Scenario sc = scenario;
+      sc.seed = seeds[i];
+      results[i] = run_scenario(sc);
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return results;
+}
+
+ConfidenceInterval ci_of(const std::vector<Metrics>& reps,
+                         const std::function<double(const Metrics&)>& field,
+                         double conf) {
+  std::vector<double> samples;
+  samples.reserve(reps.size());
+  for (const auto& m : reps) samples.push_back(field(m));
+  return confidence_interval(samples, conf);
+}
+
+Metrics mean_of(const std::vector<Metrics>& reps) {
+  Metrics out;
+  if (reps.empty()) return out;
+  const double n = static_cast<double>(reps.size());
+  const auto avg = [&](auto getter) {
+    double acc = 0.0;
+    for (const auto& m : reps) acc += static_cast<double>(getter(m));
+    return acc / n;
+  };
+  out.sim_time_s = avg([](const Metrics& m) { return m.sim_time_s; });
+  out.measured_s = avg([](const Metrics& m) { return m.measured_s; });
+  out.queries = static_cast<std::uint64_t>(avg([](const Metrics& m) { return m.queries; }));
+  out.answered = static_cast<std::uint64_t>(avg([](const Metrics& m) { return m.answered; }));
+  out.hits = static_cast<std::uint64_t>(avg([](const Metrics& m) { return m.hits; }));
+  out.misses = static_cast<std::uint64_t>(avg([](const Metrics& m) { return m.misses; }));
+  out.stale_serves = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.stale_serves; }));
+  out.dropped_queries = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.dropped_queries; }));
+  out.hit_ratio = avg([](const Metrics& m) { return m.hit_ratio; });
+  out.mean_latency_s = avg([](const Metrics& m) { return m.mean_latency_s; });
+  out.p50_latency_s = avg([](const Metrics& m) { return m.p50_latency_s; });
+  out.p90_latency_s = avg([](const Metrics& m) { return m.p90_latency_s; });
+  out.p99_latency_s = avg([](const Metrics& m) { return m.p99_latency_s; });
+  out.mean_hit_latency_s = avg([](const Metrics& m) { return m.mean_hit_latency_s; });
+  out.mean_miss_latency_s = avg([](const Metrics& m) { return m.mean_miss_latency_s; });
+  out.uplink_requests = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.uplink_requests; }));
+  out.uplink_per_query = avg([](const Metrics& m) { return m.uplink_per_query; });
+  out.request_retries = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.request_retries; }));
+  out.reports_sent = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.reports_sent; }));
+  out.minis_sent = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.minis_sent; }));
+  out.reports_heard = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.reports_heard; }));
+  out.reports_missed = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.reports_missed; }));
+  out.report_loss_rate = avg([](const Metrics& m) { return m.report_loss_rate; });
+  out.cache_drops = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.cache_drops; }));
+  out.false_invalidations = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.false_invalidations; }));
+  out.digests_applied = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.digests_applied; }));
+  out.digest_answers = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.digest_answers; }));
+  out.mac_busy_frac = avg([](const Metrics& m) { return m.mac_busy_frac; });
+  out.report_airtime_s = avg([](const Metrics& m) { return m.report_airtime_s; });
+  out.item_airtime_s = avg([](const Metrics& m) { return m.item_airtime_s; });
+  out.data_airtime_s = avg([](const Metrics& m) { return m.data_airtime_s; });
+  out.report_overhead_frac =
+      avg([](const Metrics& m) { return m.report_overhead_frac; });
+  out.data_queue_delay_s = avg([](const Metrics& m) { return m.data_queue_delay_s; });
+  out.mean_broadcast_mcs = avg([](const Metrics& m) { return m.mean_broadcast_mcs; });
+  out.report_bits =
+      static_cast<Bits>(avg([](const Metrics& m) { return m.report_bits; }));
+  out.piggyback_bits =
+      static_cast<Bits>(avg([](const Metrics& m) { return m.piggyback_bits; }));
+  out.item_broadcasts = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.item_broadcasts; }));
+  out.coalesced_requests = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.coalesced_requests; }));
+  out.data_frames_dropped = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.data_frames_dropped; }));
+  out.listen_airtime_s = avg([](const Metrics& m) { return m.listen_airtime_s; });
+  out.listen_airtime_per_query =
+      avg([](const Metrics& m) { return m.listen_airtime_per_query; });
+  out.radio_on_frac = avg([](const Metrics& m) { return m.radio_on_frac; });
+  out.lair_deferred = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.lair_deferred; }));
+  out.lair_mean_deferral_s =
+      avg([](const Metrics& m) { return m.lair_mean_deferral_s; });
+  out.hyb_mean_m = avg([](const Metrics& m) { return m.hyb_mean_m; });
+  return out;
+}
+
+}  // namespace wdc

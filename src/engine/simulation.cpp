@@ -1,0 +1,174 @@
+#include "engine/simulation.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "proto/hyb.hpp"
+
+namespace wdc {
+
+Simulation::Simulation(Scenario scenario)
+    : scenario_(std::move(scenario)), table_(scenario_.make_mcs_table()) {
+  scenario_.validate();
+  Rng master(scenario_.seed);
+  Rng geo_rng = master.split();
+  Rng chan_rng = master.split();
+  Rng mac_rng = master.split();
+  Rng db_rng = master.split();
+  Rng wl_rng = master.split();
+
+  mac_ = std::make_unique<BroadcastMac>(sim_, table_, scenario_.mac, mac_rng);
+  uplink_ = std::make_unique<UplinkChannel>(sim_, scenario_.uplink, master.split());
+  db_ = std::make_unique<Database>(sim_, scenario_.db, db_rng);
+  sink_ = std::make_unique<StatsSink>(scenario_.warmup_s);
+  server_ = make_server(scenario_.protocol, sim_, *mac_, *db_, scenario_.proto);
+
+  // Per-client channel processes and sleep models, then the protocol clients
+  // (which register with the MAC in construction order ⇒ ClientId = index).
+  const std::uint32_t M = scenario_.num_clients;
+  links_.reserve(M);
+  sleeps_.reserve(M);
+  clients_.reserve(M);
+  queries_.reserve(M);
+  for (std::uint32_t i = 0; i < M; ++i) {
+    Rng link_rng = chan_rng.split();
+    links_.push_back(
+        make_snr_process(scenario_.fading, client_mean_snr(geo_rng), link_rng));
+    sleeps_.push_back(std::make_unique<SleepModel>(
+        sim_, scenario_.sleep, wl_rng.split(), [this, i](bool awake) {
+          if (i < clients_.size()) clients_[i]->on_sleep_transition(awake);
+        }));
+  }
+  for (std::uint32_t i = 0; i < M; ++i) {
+    SleepModel* sleep = sleeps_[i].get();
+    clients_.push_back(make_client(
+        scenario_.protocol, sim_, *mac_, *uplink_, *server_, *db_, scenario_.proto,
+        links_[i].get(), [sleep] { return sleep->awake(); }, *sink_,
+        wl_rng.split()));
+    if (clients_.back()->id() != i)
+      throw std::logic_error("Simulation: client registration order violated");
+  }
+  for (std::uint32_t i = 0; i < M; ++i) {
+    ClientProtocol* client = clients_[i].get();
+    SleepModel* sleep = sleeps_[i].get();
+    queries_.push_back(std::make_unique<QueryGenerator>(
+        sim_, scenario_.query, scenario_.db.num_items, wl_rng.split(),
+        [sleep] { return sleep->awake(); },
+        [client](ItemId item) { client->on_query(item); }));
+  }
+
+  traffic_ = std::make_unique<TrafficGenerator>(
+      sim_, scenario_.traffic, M, wl_rng.split(),
+      [this](const TrafficFrame& frame) { server_->on_downlink_frame(frame); });
+
+  server_->start();
+}
+
+Simulation::~Simulation() = default;
+
+double Simulation::client_mean_snr(Rng& rng) const {
+  switch (scenario_.snr_assignment) {
+    case SnrAssignment::kUniform:
+      return scenario_.mean_snr_db +
+             scenario_.snr_spread_db * (rng.uniform() - 0.5);
+    case SnrAssignment::kPathLoss: {
+      const double d = scenario_.cell.sample_distance(rng);
+      return scenario_.tx_power_dbm - scenario_.pathloss.loss_db(d) -
+             scenario_.noise_dbm;
+    }
+  }
+  throw std::logic_error("client_mean_snr: unreachable");
+}
+
+Metrics Simulation::run() {
+  if (ran_) throw std::logic_error("Simulation::run called twice");
+  ran_ = true;
+  sim_.run_until(scenario_.sim_time_s);
+  return collect();
+}
+
+Metrics Simulation::collect() const {
+  Metrics m;
+  m.seed = scenario_.seed;
+  m.sim_time_s = sim_.now();
+  m.measured_s = sim_.now() - scenario_.warmup_s;
+  m.events = sim_.events_executed();
+
+  const StatsSink& s = *sink_;
+  m.queries = s.queries();
+  m.answered = s.answered();
+  m.hits = s.hits();
+  m.misses = s.misses();
+  m.stale_serves = s.stale_serves();
+  m.dropped_queries = s.dropped();
+  m.hit_ratio = s.hit_ratio();
+  m.mean_latency_s = s.latency().mean();
+  m.p50_latency_s = s.latency_hist().quantile(0.50);
+  m.p90_latency_s = s.latency_hist().quantile(0.90);
+  m.p99_latency_s = s.latency_hist().quantile(0.99);
+  m.mean_hit_latency_s = s.hit_latency().mean();
+  m.mean_miss_latency_s = s.miss_latency().mean();
+
+  m.uplink_requests = uplink_->requests();
+  m.uplink_per_query =
+      m.answered ? static_cast<double>(m.uplink_requests) /
+                       static_cast<double>(m.answered)
+                 : 0.0;
+  m.request_retries = s.request_retries();
+
+  m.reports_sent = server_->reports_sent();
+  m.minis_sent = server_->minis_sent();
+  m.reports_heard = s.reports_heard();
+  m.reports_missed = s.reports_missed();
+  const auto offered = m.reports_heard + m.reports_missed;
+  m.report_loss_rate =
+      offered ? static_cast<double>(m.reports_missed) / static_cast<double>(offered)
+              : 0.0;
+  m.cache_drops = s.cache_drops();
+  m.false_invalidations = s.false_invalidations();
+  m.digests_applied = s.digests_applied();
+  m.digest_answers = s.digest_answers();
+
+  m.mac_busy_frac = mac_->busy_fraction(sim_.now());
+  const auto& ir = mac_->stats(MsgKind::kInvalidationReport);
+  const auto& mini = mac_->stats(MsgKind::kMiniReport);
+  const auto& item = mac_->stats(MsgKind::kItemData);
+  const auto& data = mac_->stats(MsgKind::kDownlinkData);
+  m.report_airtime_s = ir.airtime_s + mini.airtime_s;
+  m.item_airtime_s = item.airtime_s;
+  m.data_airtime_s = data.airtime_s;
+  m.report_overhead_frac =
+      sim_.now() > 0.0 ? m.report_airtime_s / sim_.now() : 0.0;
+  m.data_queue_delay_s = data.queue_delay.mean();
+  m.mean_broadcast_mcs = mac_->broadcast_mcs_used().mean();
+  m.report_bits = ir.bits + mini.bits;
+  m.piggyback_bits = server_->digest_bits();
+  m.item_broadcasts = server_->item_broadcasts();
+  m.coalesced_requests = server_->coalesced_requests();
+  m.data_frames_dropped = data.dropped;
+
+  m.listen_airtime_s = s.listen_airtime_s();
+  m.listen_airtime_per_query =
+      m.answered ? m.listen_airtime_s / static_cast<double>(m.answered) : 0.0;
+  if (!clients_.empty() && sim_.now() > 0.0) {
+    double on = 0.0;
+    for (const auto& c : clients_) on += c->radio_on_time(sim_.now());
+    m.radio_on_frac = on / (sim_.now() * static_cast<double>(clients_.size()));
+  }
+
+  m.lair_deferred = server_->lair_deferred();
+  m.lair_mean_deferral_s =
+      m.lair_deferred
+          ? server_->lair_deferral_s() / static_cast<double>(m.lair_deferred)
+          : 0.0;
+  if (const auto* hyb = dynamic_cast<const ServerHyb*>(server_.get()))
+    m.hyb_mean_m = hyb->m_history().mean();
+  return m;
+}
+
+Metrics run_scenario(const Scenario& scenario) {
+  Simulation sim(scenario);
+  return sim.run();
+}
+
+}  // namespace wdc

@@ -1,0 +1,29 @@
+#include "mac/uplink.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace wdc {
+
+UplinkChannel::UplinkChannel(Simulator& sim, UplinkConfig cfg, Rng rng)
+    : sim_(sim), cfg_(cfg), rng_(rng) {}
+
+void UplinkChannel::send(ClientId /*from*/, Bits bits, std::function<void()> deliver) {
+  ++requests_;
+  bits_ += bits;
+  ++in_flight_;
+  const double load = static_cast<double>(in_flight_);
+  double delay = cfg_.base_delay_s;
+  if (cfg_.jitter_mean_s > 0.0) {
+    // Exponential jitter with mean scaled by the in-flight count.
+    const double mean = cfg_.jitter_mean_s * load;
+    delay += -mean * std::log1p(-rng_.uniform());
+  }
+  delay_.add(delay);
+  sim_.schedule_in(delay, [this, fn = std::move(deliver)]() mutable {
+    --in_flight_;
+    fn();
+  });
+}
+
+}  // namespace wdc

@@ -1,0 +1,52 @@
+#ifndef WDC_MAC_UPLINK_HPP
+#define WDC_MAC_UPLINK_HPP
+
+/// @file uplink.hpp
+/// Uplink request channel (client → server).
+///
+/// Cache-miss requests are short and ride a dedicated random-access channel, so the
+/// model is a delay + contention-jitter pipe rather than a full MAC: delivery after
+/// `base_delay_s` plus an exponential jitter whose mean grows linearly with the
+/// number of requests currently in flight (a first-order contention effect).
+/// The uplink is assumed reliable (ARQ on a tiny control message).
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "stats/summary.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace wdc {
+
+struct UplinkConfig {
+  double base_delay_s = 0.05;     ///< RACH + processing floor
+  double jitter_mean_s = 0.02;    ///< mean exponential jitter per in-flight request
+};
+
+class UplinkChannel {
+ public:
+  UplinkChannel(Simulator& sim, UplinkConfig cfg, Rng rng);
+
+  /// Send `bits` from `from`; `deliver` runs at the server when the request lands.
+  void send(ClientId from, Bits bits, std::function<void()> deliver);
+
+  std::uint64_t requests() const { return requests_; }
+  Bits bits_sent() const { return bits_; }
+  const Summary& delay() const { return delay_; }
+  std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  Simulator& sim_;
+  UplinkConfig cfg_;
+  Rng rng_;
+  std::uint64_t requests_ = 0;
+  Bits bits_ = 0;
+  std::size_t in_flight_ = 0;
+  Summary delay_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_MAC_UPLINK_HPP

@@ -1,0 +1,15 @@
+#include "proto/at.hpp"
+
+namespace wdc {
+
+void ServerAt::start() {
+  const double L = cfg_.ir_interval_s;
+  timer_ = std::make_unique<PeriodicTimer>(
+      sim_, /*first=*/L, /*period=*/L, [this](std::uint64_t) {
+        // Amnesic: the report covers exactly one interval. A client that failed
+        // to decode the previous report cannot bridge the gap.
+        enqueue_full_report(build_full_report(cfg_.ir_interval_s));
+      });
+}
+
+}  // namespace wdc

@@ -1,0 +1,33 @@
+#ifndef WDC_PROTO_AT_HPP
+#define WDC_PROTO_AT_HPP
+
+/// @file at.hpp
+/// AT — Amnesic Terminals (Barbara & Imielinski, 1994).
+///
+/// Server: every L seconds, broadcast only the ids updated since the *previous*
+/// report (window = L). Client: the default window logic then forces a full cache
+/// drop whenever a single report is missed — the scheme's defining fragility.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+#include "sim/periodic.hpp"
+
+namespace wdc {
+
+class ServerAt final : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override;
+
+ private:
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+class ClientAt final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_AT_HPP

@@ -1,0 +1,74 @@
+#ifndef WDC_PROTO_BASELINES_HPP
+#define WDC_PROTO_BASELINES_HPP
+
+/// @file baselines.hpp
+/// The two non-IR anchor baselines every wireless-caching evaluation includes:
+///
+/// * **NC** (no caching): every query goes to the server — an uplink request and
+///   a broadcast item per query. Zero consistency machinery (a fetched copy is
+///   trivially current), zero cache benefit. The latency floor when the channel
+///   is idle, and the first casualty when it is not.
+///
+/// * **PER** (poll each read): clients cache items but validate every hit with a
+///   per-query uplink poll; the server confirms with a small unicast control ack
+///   (version match) or re-broadcasts the item. Strong consistency without
+///   reports, at one uplink message per query — exactly the cost IR schemes
+///   amortise away.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+
+namespace wdc {
+
+/// Report-less server shared by NC and the PER fallback path.
+class ServerNull : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override {}  // no reports, ever
+};
+
+class ClientNc final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+  void on_query(ItemId item) override;
+
+ protected:
+  bool should_cache() const override { return false; }
+};
+
+/// PER server: answers polls; otherwise a plain item server.
+class ServerPer final : public ServerNull {
+ public:
+  using ServerNull::ServerNull;
+
+  /// A client polled `item` at `version`: reply valid/invalid; on invalid also
+  /// broadcast the current item (the client will need it).
+  void on_poll(ClientId from, ItemId item, Version version);
+
+  std::uint64_t polls() const { return polls_; }
+  std::uint64_t poll_hits() const { return poll_hits_; }
+
+ private:
+  std::uint64_t polls_ = 0;
+  std::uint64_t poll_hits_ = 0;
+};
+
+class ClientPer final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+  void on_query(ItemId item) override;
+  void on_sleep_transition(bool awake) override;
+
+ protected:
+  void handle_control(const Message& msg) override;
+
+ private:
+  /// Queries waiting for a poll verdict, per item.
+  std::unordered_map<ItemId, std::vector<SimTime>> polls_in_flight_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_BASELINES_HPP

@@ -1,0 +1,42 @@
+#ifndef WDC_PROTO_BS_HPP
+#define WDC_PROTO_BS_HPP
+
+/// @file bs.hpp
+/// BS — Bit-Sequences (Jing, Elmagarmid, Helal, Alonso 1997), behavioural model.
+///
+/// The server broadcasts, every L seconds, a hierarchy of nested bit sequences
+/// whose total size is ≈ 2·N bits regardless of the update rate, with one
+/// timestamp per dyadic window L·2^i. A client disconnected for *any* duration
+/// inside the oldest window can resynchronise; the price is granularity — the
+/// receiver learns only which dyadic interval an update fell into, so entries
+/// fetched within the same interval as a (possibly earlier) update must be
+/// conservatively invalidated. Distinct from SIG: deterministic (no false
+/// positives from collisions), fixed cost ~2 bits/item vs SIG's configurable
+/// budget, and window 2^(levels−1)·L.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+#include "sim/periodic.hpp"
+
+namespace wdc {
+
+class ServerBs final : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override;
+
+ private:
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+class ClientBs final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+ protected:
+  void handle_bs(const BsReport& report) override;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_BS_HPP

@@ -1,0 +1,113 @@
+#include "proto/cbl.hpp"
+
+#include <algorithm>
+
+namespace wdc {
+
+// --------------------------------------------------------------------- server --
+
+ServerCbl::ServerCbl(Simulator& sim, BroadcastMac& mac, Database& db,
+                     ProtoConfig cfg)
+    : ServerProtocol(sim, mac, db, cfg) {
+  db_.set_update_observer(
+      [this](ItemId item, SimTime when) { on_update(item, when); });
+}
+
+void ServerCbl::prune(ItemId item, SimTime now) {
+  const auto it = leases_.find(item);
+  if (it == leases_.end()) return;
+  for (auto holder = it->second.begin(); holder != it->second.end();) {
+    if (holder->second <= now) {
+      holder = it->second.erase(holder);
+      --outstanding_;
+    } else {
+      ++holder;
+    }
+  }
+  if (it->second.empty()) leases_.erase(it);
+}
+
+void ServerCbl::on_request(ClientId from, ItemId item) {
+  prune(item, sim_.now());
+  auto& holders = leases_[item];
+  const auto [it, inserted] =
+      holders.insert_or_assign(from, sim_.now() + cfg_.cbl_lease_s);
+  (void)it;
+  if (inserted) {
+    ++outstanding_;
+    peak_leases_ = std::max<std::uint64_t>(peak_leases_, outstanding_);
+  }
+  ServerProtocol::on_request(from, item);
+}
+
+void ServerCbl::decorate_item(Message& /*msg*/, ItemPayload& payload) {
+  payload.lease_s = cfg_.cbl_lease_s;
+}
+
+void ServerCbl::on_update(ItemId item, SimTime when) {
+  prune(item, when);
+  const auto it = leases_.find(item);
+  if (it == leases_.end()) return;
+  for (const auto& [client, expiry] : it->second) {
+    auto notice = std::make_shared<InvalidateNotice>();
+    notice->item = item;
+    notice->update_time = when;
+    Message msg;
+    msg.kind = MsgKind::kControl;
+    msg.dest = client;
+    msg.item = item;
+    msg.bits = cfg_.cbl_notice_bits;
+    msg.payload = std::move(notice);
+    ++notices_sent_;
+    mac_.enqueue(std::move(msg));
+  }
+  outstanding_ -= it->second.size();
+  leases_.erase(it);
+}
+
+// --------------------------------------------------------------------- client --
+
+bool ClientCbl::holds_lease(ItemId item) const {
+  const auto it = leases_.find(item);
+  return it != leases_.end() && it->second > sim_.now();
+}
+
+void ClientCbl::on_query(ItemId item) {
+  sink_.record_query(sim_.now());
+  const CacheEntry* entry = cache_.peek(item);
+  if (entry != nullptr && holds_lease(item)) {
+    // Zero-wait answer: the lease contract says the server would have notified
+    // us of any update. The oracle charges every violation of that promise
+    // (notice in flight / lost / sent while we dozed) as a stale serve.
+    record_hit_answer(sim_.now(), item, entry->version, sim_.now());
+    return;
+  }
+  // No usable lease: fetch like NC (shares in-flight requests).
+  const bool already = awaiting_item(item);
+  enqueue_pending(item, sim_.now(), /*awaiting=*/true);
+  if (!already) decide_miss(item);
+}
+
+void ClientCbl::on_sleep_transition(bool awake) {
+  ClientProtocol::on_sleep_transition(awake);
+  // Asleep we cannot hear invalidation notices: every lease is void. (The
+  // server keeps sending notices to us in vain — the realistic failure mode.)
+  if (!awake) leases_.clear();
+}
+
+void ClientCbl::handle_control(const Message& msg) {
+  const auto notice = std::dynamic_pointer_cast<const InvalidateNotice>(msg.payload);
+  if (!notice) return;
+  invalidate(notice->item);
+  leases_.erase(notice->item);
+}
+
+void ClientCbl::on_item_received(const Message& msg, const ItemPayload& payload,
+                                 bool fetched) {
+  // Leases are granted to requesters only (the server recorded us at request
+  // time); snoopers may cache but must not claim the callback promise.
+  if (fetched && payload.lease_s > 0.0 && msg.item != kInvalidItem)
+    note_lease(msg.item, payload.content_time + payload.lease_s);
+}
+
+}  // namespace wdc

@@ -1,0 +1,85 @@
+#ifndef WDC_PROTO_CBL_HPP
+#define WDC_PROTO_CBL_HPP
+
+/// @file cbl.hpp
+/// CBL — stateful callback invalidation with leases (Gray–Cheriton leases meet
+/// the AS-style callback schemes). Implemented as the *contrast* protocol: it
+/// shows what the IR family gives up (zero-wait answers) and what it buys
+/// (statelessness and airtight consistency on a lossy broadcast medium).
+///
+/// Server: remembers, per item, which clients hold unexpired leases (granted to
+/// requesters when an item is served). On every update it unicasts an
+/// invalidation notice (MAC ARQ, max_retx) to each lease holder and revokes the
+/// lease. State is O(outstanding leases) — the scalability cost IR schemes avoid.
+///
+/// Client: a query for a cached, *leased*, un-revoked entry is answered
+/// immediately — no consistency wait at all. Everything else fetches like NC.
+/// Going to sleep voids all leases (notices can no longer be heard).
+///
+/// Consistency: **best-effort**. A notice in flight, lost to a fade after ARQ
+/// exhaustion, or sent while the client dozes opens a staleness window; the
+/// oracle counts every stale answer (`Metrics::stale_serves`). On an ideal
+/// channel with awake clients the count is 0 up to notification latency; under
+/// fading it is measurably positive — the number that justifies the IR family.
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+
+namespace wdc {
+
+class ServerCbl final : public ServerProtocol {
+ public:
+  ServerCbl(Simulator& sim, BroadcastMac& mac, Database& db, ProtoConfig cfg);
+
+  void start() override {}  // no reports; updates drive notices
+
+  /// Record the requester's lease, then serve the item as usual.
+  void on_request(ClientId from, ItemId item) override;
+
+  std::uint64_t notices_sent() const { return notices_sent_; }
+  std::size_t outstanding_leases() const { return outstanding_; }
+  std::uint64_t peak_leases() const { return peak_leases_; }
+
+ protected:
+  void decorate_item(Message& msg, ItemPayload& payload) override;
+
+ private:
+  void on_update(ItemId item, SimTime when);
+  void prune(ItemId item, SimTime now);
+
+  /// item → (client → lease expiry).
+  std::unordered_map<ItemId, std::unordered_map<ClientId, SimTime>> leases_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t peak_leases_ = 0;
+  std::uint64_t notices_sent_ = 0;
+};
+
+class ClientCbl final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+  void on_query(ItemId item) override;
+  void on_sleep_transition(bool awake) override;
+
+ protected:
+  void handle_control(const Message& msg) override;
+  void on_item_received(const Message& msg, const ItemPayload& payload,
+                        bool fetched) override;
+
+ private:
+  /// item → lease expiry (granted when our own fetch completed).
+  std::unordered_map<ItemId, SimTime> leases_;
+
+  void note_lease(ItemId item, SimTime expiry) { leases_[item] = expiry; }
+
+ public:
+  /// White-box accessor for tests.
+  bool holds_lease(ItemId item) const;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_CBL_HPP

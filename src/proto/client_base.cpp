@@ -1,0 +1,332 @@
+#include "proto/client_base.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wdc {
+
+namespace {
+/// Tolerance for content-stamp continuity comparisons (report stamps are exact
+/// doubles propagated through arithmetic; keep a safety epsilon).
+constexpr SimTime kEps = 1e-9;
+}  // namespace
+
+ClientProtocol::ClientProtocol(Simulator& sim, BroadcastMac& mac,
+                               UplinkChannel& uplink, ServerProtocol& server,
+                               const Database& oracle, ProtoConfig cfg,
+                               SnrProcess* link, std::function<bool()> is_awake,
+                               StatsSink& sink, Rng rng)
+    : cache_(cfg.cache_capacity),
+      rng_(rng),
+      sink_(sink),
+      cfg_(std::move(cfg)),
+      sim_(sim),
+      mac_(mac),
+      uplink_(uplink),
+      server_(server),
+      oracle_(oracle),
+      is_awake_(std::move(is_awake)) {
+  ClientPort port;
+  port.link = link;
+  port.is_listening = [this] { return radio_needed(); };
+  port.on_reception = [this](const Reception& rx) { on_reception(rx); };
+  id_ = mac_.register_client(std::move(port));
+  // Under selective tuning the radio starts ON and stays on until the first
+  // report synchronises us; finish_report() then begins the doze cycle.
+  tuned_on_ = true;
+}
+
+void ClientProtocol::on_query(ItemId item) {
+  sink_.record_query(sim_.now());
+  // If a request for this item is already in flight, ride on it.
+  enqueue_pending(item, sim_.now(), awaiting_item(item));
+}
+
+void ClientProtocol::enqueue_pending(ItemId item, SimTime qtime, bool awaiting) {
+  pending_.push_back(PendingQuery{item, qtime, awaiting});
+}
+
+void ClientProtocol::on_sleep_transition(bool awake) {
+  note_radio_state();
+  if (awake) return;  // wake-up: the next report re-synchronises us
+  // Going to sleep: abandon pending queries and their re-request timers.
+  for (const auto& q : pending_) sink_.record_dropped(q.qtime);
+  pending_.clear();
+  for (auto& [item, timer] : request_timers_) sim_.cancel(timer);
+  request_timers_.clear();
+}
+
+// ------------------------------------------------------------ radio / tuning --
+
+bool ClientProtocol::radio_needed() const {
+  if (!is_awake_()) return false;
+  if (!cfg_.selective_tuning) return true;
+  return tuned_on_ || !request_timers_.empty();
+}
+
+bool ClientProtocol::radio_on() const { return radio_needed(); }
+
+double ClientProtocol::radio_on_time(SimTime now) const {
+  // TimeWeighted tracks the 0/1 power state; integral = average × span.
+  return radio_tw_.average(now) * now;
+}
+
+void ClientProtocol::note_radio_state() {
+  radio_tw_.update(sim_.now(), radio_needed() ? 1.0 : 0.0);
+}
+
+void ClientProtocol::schedule_tune_open() {
+  if (!cfg_.selective_tuning) return;
+  const double L = cfg_.ir_interval_s;
+  // Next grid instant strictly in the future of now + guard.
+  while (L * static_cast<double>(grid_tick_ + 1) - cfg_.tune_guard_s <= sim_.now())
+    ++grid_tick_;
+  ++grid_tick_;
+  const SimTime at = L * static_cast<double>(grid_tick_) - cfg_.tune_guard_s;
+  if (tune_timer_.valid()) sim_.cancel(tune_timer_);
+  tune_timer_ = sim_.schedule_at(at, [this] { tune_open(); },
+                                 EventPriority::kProtocol);
+}
+
+void ClientProtocol::tune_open() {
+  tuned_on_ = true;
+  note_radio_state();
+  // Safety close: if the expected report never decodes, give up and retry at
+  // the next grid point (accounting the wasted listening).
+  const SimTime deadline = cfg_.ir_interval_s * static_cast<double>(grid_tick_) +
+                           report_slack() + cfg_.tune_linger_s;
+  tune_timer_ = sim_.schedule_at(std::max(deadline, sim_.now()),
+                                 [this] { tune_close(); },
+                                 EventPriority::kProtocol);
+}
+
+void ClientProtocol::tune_close() {
+  tuned_on_ = false;
+  note_radio_state();
+  schedule_tune_open();
+}
+
+// ---------------------------------------------------------------- reception --
+
+void ClientProtocol::on_reception(const Reception& rx) {
+  sink_.add_listen_airtime(rx.airtime_s);
+  const bool is_report = rx.msg.kind == MsgKind::kInvalidationReport ||
+                         rx.msg.kind == MsgKind::kMiniReport;
+  if (!rx.decoded) {
+    if (is_report) sink_.record_report_missed();
+    return;
+  }
+  switch (rx.msg.kind) {
+    case MsgKind::kInvalidationReport: {
+      if (auto full = std::dynamic_pointer_cast<const FullReport>(rx.msg.payload)) {
+        sink_.record_report_heard();
+        handle_full(*full);
+      } else if (auto sig =
+                     std::dynamic_pointer_cast<const SigReport>(rx.msg.payload)) {
+        sink_.record_report_heard();
+        handle_sig(*sig);
+      } else if (auto bs =
+                     std::dynamic_pointer_cast<const BsReport>(rx.msg.payload)) {
+        sink_.record_report_heard();
+        handle_bs(*bs);
+      }
+      break;
+    }
+    case MsgKind::kMiniReport: {
+      if (auto mini = std::dynamic_pointer_cast<const MiniReport>(rx.msg.payload)) {
+        sink_.record_report_heard();
+        handle_mini(*mini);
+      }
+      break;
+    }
+    case MsgKind::kControl:
+      if (rx.msg.dest == id_) handle_control(rx.msg);
+      break;
+    case MsgKind::kItemData:
+      handle_item(rx.msg);
+      break;
+    case MsgKind::kDownlinkData:
+      handle_data(rx.msg);
+      break;
+  }
+}
+
+void ClientProtocol::handle_item(const Message& msg) {
+  const auto payload = std::dynamic_pointer_cast<const ItemPayload>(msg.payload);
+  if (!payload || msg.item == kInvalidItem) return;
+
+  const bool awaiting = awaiting_item(msg.item);
+  const bool resident = cache_.peek(msg.item) != nullptr;
+  if ((awaiting || resident) && should_cache()) {
+    CacheEntry entry;
+    entry.id = msg.item;
+    entry.version = payload->version;
+    entry.version_time = payload->content_time;
+    entry.validated_at = payload->content_time;
+    cache_.put(entry);
+  }
+  if (awaiting) complete_awaiting(msg.item, payload->version, payload->content_time);
+  on_item_received(msg, *payload, awaiting);
+  if (payload->digest) handle_digest(*payload->digest);
+}
+
+void ClientProtocol::handle_data(const Message& msg) {
+  const auto payload = std::dynamic_pointer_cast<const DataPayload>(msg.payload);
+  if (payload && payload->digest) handle_digest(*payload->digest);
+}
+
+// -------------------------------------------------------- report application --
+
+void ClientProtocol::handle_full(const FullReport& report) {
+  if (tc_ + kEps < report.window_start) {
+    // Disconnected past the report window: nothing in the cache can be certified.
+    drop_cache_and_resync(report.stamp);
+    return;
+  }
+  for (const auto& [id, updated_at] : report.updates)
+    invalidate_if_older(id, updated_at);
+  finish_report(report.stamp);
+}
+
+void ClientProtocol::handle_mini(const MiniReport&) {}     // ignored by default
+void ClientProtocol::handle_sig(const SigReport&) {}       // ignored by default
+void ClientProtocol::handle_digest(const PiggyDigest&) {}  // ignored by default
+void ClientProtocol::handle_bs(const BsReport&) {}         // ignored by default
+void ClientProtocol::handle_control(const Message&) {}     // ignored by default
+void ClientProtocol::on_item_received(const Message&, const ItemPayload&, bool) {}
+
+void ClientProtocol::apply_mini(const MiniReport& report) {
+  // Usable only with continuity: we must already be consistent as of the anchor
+  // (the full report this mini extends) or later.
+  if (tc_ + kEps < report.anchor) return;
+  for (const ItemId id : report.updated) invalidate(id);
+  finish_report(report.stamp);
+}
+
+void ClientProtocol::apply_digest(const PiggyDigest& digest) {
+  // Invalidation from a digest is always safe (listed ids definitely changed).
+  for (const ItemId id : digest.updated) invalidate(id);
+  // Revalidation requires a complete digest whose horizon covers our consistency
+  // point; then everything still resident is certified as of digest.stamp.
+  if (digest.complete && tc_ > 0.0 && tc_ + kEps >= digest.horizon_start) {
+    sink_.record_digest_applied();
+    cache_.revalidate_all(digest.stamp);
+    if (digest.stamp > tc_) tc_ = digest.stamp;
+    answer_pending(/*via_digest=*/true);
+  }
+}
+
+void ClientProtocol::drop_cache_and_resync(SimTime stamp) {
+  if (!cache_.empty()) sink_.record_cache_drop();
+  cache_.clear();
+  finish_report(stamp);
+}
+
+void ClientProtocol::invalidate_if_older(ItemId id, SimTime updated_at) {
+  const CacheEntry* entry = cache_.peek(id);
+  if (entry != nullptr && entry->version_time + kEps < updated_at) invalidate(id);
+}
+
+void ClientProtocol::invalidate(ItemId id) {
+  if (cache_.erase(id)) cache_.note_invalidation();
+}
+
+void ClientProtocol::finish_report(SimTime stamp) {
+  cache_.revalidate_all(stamp);
+  if (stamp > tc_) tc_ = stamp;
+  answer_pending();
+  // Selective tuning: a consistency point ends the current listening window.
+  if (cfg_.selective_tuning && tuned_on_) {
+    if (tune_timer_.valid()) sim_.cancel(tune_timer_);
+    tuned_on_ = false;
+    note_radio_state();
+    schedule_tune_open();
+  }
+}
+
+// ------------------------------------------------------------------ answers --
+
+void ClientProtocol::answer_pending(bool via_digest) {
+  // Decide every pending, non-awaiting query issued at or before the consistency
+  // point. Misses turn into awaiting queries (uplink request in flight).
+  for (auto& q : pending_) {
+    if (q.awaiting || q.qtime > tc_ + kEps) continue;
+    CacheEntry* entry = cache_.get(q.item);
+    if (entry != nullptr) {
+      record_hit_answer(q.qtime, q.item, entry->version, tc_, via_digest);
+      q.item = kInvalidItem;  // mark for removal
+    } else {
+      q.awaiting = true;
+      decide_miss(q.item);
+    }
+  }
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [](const PendingQuery& q) {
+                                  return q.item == kInvalidItem;
+                                }),
+                 pending_.end());
+}
+
+void ClientProtocol::record_hit_answer(SimTime qtime, ItemId item, Version version,
+                                       SimTime consistency_time, bool via_digest) {
+  const double latency = sim_.now() - qtime;
+  // Staleness oracle: the answer claims to be the latest version as of the
+  // consistency point that certified it.
+  const bool stale = oracle_.version_at(item, consistency_time) != version;
+  sink_.record_answer(qtime, latency, /*hit=*/true, stale);
+  if (via_digest) sink_.record_digest_answer();
+}
+
+void ClientProtocol::decide_miss(ItemId item) {
+  if (awaiting_item(item)) return;  // request already in flight
+  send_request(item);
+  arm_request_timer(item);
+  note_radio_state();  // fetching keeps a tuned radio on
+}
+
+void ClientProtocol::await_item(ItemId item) {
+  if (awaiting_item(item)) return;
+  arm_request_timer(item);
+  note_radio_state();
+}
+
+void ClientProtocol::send_request(ItemId item) {
+  uplink_.send(id_, cfg_.request_bits,
+               [this, item] { server_.on_request(id_, item); });
+}
+
+void ClientProtocol::arm_request_timer(ItemId item) {
+  request_timers_[item] = sim_.schedule_in(
+      cfg_.request_timeout_s,
+      [this, item] {
+        // The broadcast never arrived (lost or dropped): ask again.
+        sink_.record_request_retry();
+        send_request(item);
+        arm_request_timer(item);
+      },
+      EventPriority::kProtocol);
+}
+
+void ClientProtocol::complete_awaiting(ItemId item, Version version,
+                                       SimTime content_time) {
+  const auto timer = request_timers_.find(item);
+  if (timer != request_timers_.end()) {
+    sim_.cancel(timer->second);
+    request_timers_.erase(timer);
+    note_radio_state();
+  }
+  for (auto& q : pending_) {
+    if (!q.awaiting || q.item != item) continue;
+    const double latency = sim_.now() - q.qtime;
+    const bool stale = oracle_.version_at(item, content_time) != version;
+    sink_.record_answer(q.qtime, latency, /*hit=*/false, stale);
+    q.item = kInvalidItem;
+  }
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [](const PendingQuery& q) {
+                                  return q.item == kInvalidItem;
+                                }),
+                 pending_.end());
+}
+
+}  // namespace wdc

@@ -1,0 +1,82 @@
+#include "proto/factory.hpp"
+
+#include <stdexcept>
+
+#include "proto/at.hpp"
+#include "proto/baselines.hpp"
+#include "proto/bs.hpp"
+#include "proto/cbl.hpp"
+#include "proto/hyb.hpp"
+#include "proto/lair.hpp"
+#include "proto/pig.hpp"
+#include "proto/sig.hpp"
+#include "proto/ts.hpp"
+#include "proto/uir.hpp"
+
+namespace wdc {
+
+std::unique_ptr<ServerProtocol> make_server(ProtocolKind kind, Simulator& sim,
+                                            BroadcastMac& mac, Database& db,
+                                            const ProtoConfig& cfg) {
+  switch (kind) {
+    case ProtocolKind::kTs: return std::make_unique<ServerTs>(sim, mac, db, cfg);
+    case ProtocolKind::kAt: return std::make_unique<ServerAt>(sim, mac, db, cfg);
+    case ProtocolKind::kSig: return std::make_unique<ServerSig>(sim, mac, db, cfg);
+    case ProtocolKind::kUir: return std::make_unique<ServerUir>(sim, mac, db, cfg);
+    case ProtocolKind::kLair: return std::make_unique<ServerLair>(sim, mac, db, cfg);
+    case ProtocolKind::kPig: return std::make_unique<ServerPig>(sim, mac, db, cfg);
+    case ProtocolKind::kHyb: return std::make_unique<ServerHyb>(sim, mac, db, cfg);
+    case ProtocolKind::kNc: return std::make_unique<ServerNull>(sim, mac, db, cfg);
+    case ProtocolKind::kPer: return std::make_unique<ServerPer>(sim, mac, db, cfg);
+    case ProtocolKind::kBs: return std::make_unique<ServerBs>(sim, mac, db, cfg);
+    case ProtocolKind::kCbl: return std::make_unique<ServerCbl>(sim, mac, db, cfg);
+  }
+  throw std::logic_error("make_server: unreachable");
+}
+
+std::unique_ptr<ClientProtocol> make_client(ProtocolKind kind, Simulator& sim,
+                                            BroadcastMac& mac, UplinkChannel& uplink,
+                                            ServerProtocol& server,
+                                            const Database& oracle,
+                                            const ProtoConfig& cfg, SnrProcess* link,
+                                            std::function<bool()> is_awake,
+                                            StatsSink& sink, Rng rng) {
+  switch (kind) {
+    case ProtocolKind::kTs:
+      return std::make_unique<ClientTs>(sim, mac, uplink, server, oracle, cfg, link,
+                                        std::move(is_awake), sink, rng);
+    case ProtocolKind::kAt:
+      return std::make_unique<ClientAt>(sim, mac, uplink, server, oracle, cfg, link,
+                                        std::move(is_awake), sink, rng);
+    case ProtocolKind::kSig:
+      return std::make_unique<ClientSig>(sim, mac, uplink, server, oracle, cfg, link,
+                                         std::move(is_awake), sink, rng);
+    case ProtocolKind::kUir:
+      return std::make_unique<ClientUir>(sim, mac, uplink, server, oracle, cfg, link,
+                                         std::move(is_awake), sink, rng);
+    case ProtocolKind::kLair:
+      return std::make_unique<ClientLair>(sim, mac, uplink, server, oracle, cfg, link,
+                                          std::move(is_awake), sink, rng);
+    case ProtocolKind::kPig:
+      return std::make_unique<ClientPig>(sim, mac, uplink, server, oracle, cfg, link,
+                                         std::move(is_awake), sink, rng);
+    case ProtocolKind::kHyb:
+      return std::make_unique<ClientHyb>(sim, mac, uplink, server, oracle, cfg, link,
+                                         std::move(is_awake), sink, rng);
+    case ProtocolKind::kNc:
+      return std::make_unique<ClientNc>(sim, mac, uplink, server, oracle, cfg, link,
+                                        std::move(is_awake), sink, rng);
+    case ProtocolKind::kPer:
+      return std::make_unique<ClientPer>(sim, mac, uplink, server, oracle, cfg, link,
+                                         std::move(is_awake), sink, rng);
+    case ProtocolKind::kBs:
+      return std::make_unique<ClientBs>(sim, mac, uplink, server, oracle, cfg, link,
+                                        std::move(is_awake), sink, rng);
+    case ProtocolKind::kCbl:
+      return std::make_unique<ClientCbl>(sim, mac, uplink, server, oracle, cfg, link,
+                                         std::move(is_awake), sink, rng);
+  }
+  throw std::logic_error("make_client: unreachable");
+}
+
+}  // namespace wdc

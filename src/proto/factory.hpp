@@ -1,0 +1,29 @@
+#ifndef WDC_PROTO_FACTORY_HPP
+#define WDC_PROTO_FACTORY_HPP
+
+/// @file factory.hpp
+/// Construct matching server/client protocol instances by ProtocolKind.
+
+#include <memory>
+
+#include "proto/client_base.hpp"
+#include "proto/protocol.hpp"
+#include "proto/server_base.hpp"
+
+namespace wdc {
+
+std::unique_ptr<ServerProtocol> make_server(ProtocolKind kind, Simulator& sim,
+                                            BroadcastMac& mac, Database& db,
+                                            const ProtoConfig& cfg);
+
+std::unique_ptr<ClientProtocol> make_client(ProtocolKind kind, Simulator& sim,
+                                            BroadcastMac& mac, UplinkChannel& uplink,
+                                            ServerProtocol& server,
+                                            const Database& oracle,
+                                            const ProtoConfig& cfg, SnrProcess* link,
+                                            std::function<bool()> is_awake,
+                                            StatsSink& sink, Rng rng);
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_FACTORY_HPP

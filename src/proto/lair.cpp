@@ -1,0 +1,39 @@
+#include "proto/lair.hpp"
+
+namespace wdc {
+
+void ServerLair::start() { schedule_tick(); }
+
+void ServerLair::schedule_tick() {
+  ++tick_;
+  const SimTime nominal =
+      cfg_.ir_interval_s * static_cast<SimTime>(tick_);
+  // A deferral window >= L could push the emission past the next nominal tick;
+  // clamp so scheduling never goes backwards (the grid catches up afterwards).
+  const SimTime at = nominal > sim_.now() ? nominal : sim_.now();
+  sim_.schedule_at(at, [this, nominal] { probe(nominal); },
+                   EventPriority::kProtocol);
+}
+
+void ServerLair::probe(SimTime nominal) {
+  const SimTime deadline = nominal + cfg_.lair_window_s;
+  const bool channel_good =
+      mac_.broadcast_reference_snr(sim_.now()) >= cfg_.lair_min_snr_db;
+  if (channel_good || sim_.now() + cfg_.lair_step_s > deadline) {
+    if (sim_.now() > nominal) {
+      ++lair_deferred_;
+      lair_deferral_s_ += sim_.now() - nominal;
+    }
+    emit();
+    schedule_tick();  // next nominal tick stays on the L grid (no drift)
+    return;
+  }
+  sim_.schedule_in(cfg_.lair_step_s, [this, nominal] { probe(nominal); },
+                   EventPriority::kProtocol);
+}
+
+void ServerLair::emit() {
+  enqueue_full_report(build_full_report(cfg_.window_mult * cfg_.ir_interval_s));
+}
+
+}  // namespace wdc

@@ -1,0 +1,48 @@
+#ifndef WDC_PROTO_LAIR_HPP
+#define WDC_PROTO_LAIR_HPP
+
+/// @file lair.hpp
+/// LAIR — Link-Adaptation-aware Invalidation Reports. **Reconstruction** of the
+/// paper's channel-aware algorithm (original pseudocode unavailable; see
+/// DESIGN.md).
+///
+/// Content is identical to TS, but the server exploits link adaptation when
+/// *scheduling* each report: at the nominal tick it probes the broadcast AMC — if
+/// the reference channel currently selects a low MCS (long airtime, high loss for
+/// cell-edge listeners), the report is deferred in small steps, re-probing, until
+/// either the coverage-reference SNR clears lair_min_snr_db or the window δmax
+/// expires. Because consistency points are content-based and the TS window w·L
+/// exceeds L + δmax, sliding never compromises correctness — it trades a bounded
+/// extra wait for (a) cheaper report airtime and (b) fewer missed reports.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+
+namespace wdc {
+
+class ServerLair final : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override;
+
+ private:
+  void probe(SimTime nominal);
+  void emit();
+  void schedule_tick();
+
+  std::uint64_t tick_ = 0;
+};
+
+/// Client behaviour: TS (reports may arrive late; the w·L window absorbs it).
+/// Under selective tuning the radio must stay on through the deferral window.
+class ClientLair final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+ protected:
+  double report_slack() const override { return cfg_.lair_window_s; }
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_LAIR_HPP

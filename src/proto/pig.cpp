@@ -1,0 +1,21 @@
+#include "proto/pig.hpp"
+
+namespace wdc {
+
+void ServerPig::start() {
+  const double L = cfg_.ir_interval_s;
+  timer_ = std::make_unique<PeriodicTimer>(
+      sim_, /*first=*/L, /*period=*/L, [this](std::uint64_t) {
+        enqueue_full_report(build_full_report(cfg_.window_mult * cfg_.ir_interval_s));
+      });
+}
+
+void ServerPig::decorate_item(Message& msg, ItemPayload& payload) {
+  attach_digest_to(msg, payload.digest);
+}
+
+void ServerPig::decorate_data(Message& msg, DataPayload& payload) {
+  attach_digest_to(msg, payload.digest);
+}
+
+}  // namespace wdc

@@ -1,0 +1,47 @@
+#ifndef WDC_PROTO_PIG_HPP
+#define WDC_PROTO_PIG_HPP
+
+/// @file pig.hpp
+/// PIG — Piggybacked invalidation digests. **Reconstruction** of the paper's
+/// downlink-traffic-aware algorithm (original pseudocode unavailable; see
+/// DESIGN.md).
+///
+/// TS reports anchor consistency as usual, but every downlink data frame and item
+/// broadcast additionally carries a small digest: the ids updated in the last G
+/// seconds. Any client that overhears any frame between reports learns the recent
+/// invalidations early — a *complete* digest is a full consistency point, so
+/// queries are answered at ambient-traffic timescales instead of waiting up to L.
+/// The busier the downlink (the regime where dedicated reports hurt most), the
+/// better PIG gets — the load *is* the signalling channel.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+#include "sim/periodic.hpp"
+
+namespace wdc {
+
+class ServerPig final : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override;
+
+ protected:
+  /// Attach a digest to item broadcasts and background traffic alike.
+  void decorate_item(Message& msg, ItemPayload& payload) override;
+  void decorate_data(Message& msg, DataPayload& payload) override;
+
+ private:
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+class ClientPig final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+ protected:
+  void handle_digest(const PiggyDigest& digest) override { apply_digest(digest); }
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_PIG_HPP

@@ -1,0 +1,39 @@
+#include "proto/protocol.hpp"
+
+#include <stdexcept>
+
+namespace wdc {
+
+std::string to_string(ProtocolKind k) {
+  switch (k) {
+    case ProtocolKind::kTs: return "TS";
+    case ProtocolKind::kAt: return "AT";
+    case ProtocolKind::kSig: return "SIG";
+    case ProtocolKind::kUir: return "UIR";
+    case ProtocolKind::kLair: return "LAIR";
+    case ProtocolKind::kPig: return "PIG";
+    case ProtocolKind::kHyb: return "HYB";
+    case ProtocolKind::kNc: return "NC";
+    case ProtocolKind::kPer: return "PER";
+    case ProtocolKind::kBs: return "BS";
+    case ProtocolKind::kCbl: return "CBL";
+  }
+  return "?";
+}
+
+ProtocolKind protocol_from_string(const std::string& name) {
+  if (name == "TS" || name == "ts") return ProtocolKind::kTs;
+  if (name == "AT" || name == "at") return ProtocolKind::kAt;
+  if (name == "SIG" || name == "sig") return ProtocolKind::kSig;
+  if (name == "UIR" || name == "uir") return ProtocolKind::kUir;
+  if (name == "LAIR" || name == "lair") return ProtocolKind::kLair;
+  if (name == "PIG" || name == "pig") return ProtocolKind::kPig;
+  if (name == "HYB" || name == "hyb") return ProtocolKind::kHyb;
+  if (name == "NC" || name == "nc") return ProtocolKind::kNc;
+  if (name == "PER" || name == "per") return ProtocolKind::kPer;
+  if (name == "BS" || name == "bs") return ProtocolKind::kBs;
+  if (name == "CBL" || name == "cbl") return ProtocolKind::kCbl;
+  throw std::invalid_argument("unknown protocol: " + name);
+}
+
+}  // namespace wdc

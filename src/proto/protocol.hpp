@@ -1,0 +1,112 @@
+#ifndef WDC_PROTO_PROTOCOL_HPP
+#define WDC_PROTO_PROTOCOL_HPP
+
+/// @file protocol.hpp
+/// Protocol taxonomy and shared configuration.
+///
+/// Baselines: TS, AT, SIG, UIR (classical invalidation-report schemes).
+/// Reconstructions of the paper's new algorithms: LAIR, PIG, HYB (see DESIGN.md —
+/// the original pseudocode is unavailable; these are built from the title's two
+/// levers, link adaptation and downlink traffic).
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace wdc {
+
+enum class ProtocolKind {
+  kTs,    ///< Broadcasting Timestamps (Barbara–Imielinski)
+  kAt,    ///< Amnesic Terminals
+  kSig,   ///< Signature-based reports
+  kUir,   ///< Updated Invalidation Reports (Cao)
+  kLair,  ///< NEW: Link-Adaptation-aware IR scheduling (TS content, slid reports)
+  kPig,   ///< NEW: Piggybacked invalidation digests on downlink traffic
+  kHyb,   ///< NEW: Hybrid adaptive (LAIR + PIG + adaptive UIR frequency)
+  // --- non-IR baselines (papers include them to anchor the comparison) ---
+  kNc,    ///< No caching: every query fetches from the server
+  kPer,   ///< Poll-each-read: cached entries validated per query via uplink
+  kBs,    ///< Bit-Sequences (Jing et al. '97): dyadic-window reports, fixed cost
+  kCbl,   ///< Stateful callback with leases — the contrast that motivates IRs:
+          ///< zero-wait answers, but server state ∝ clients×items and notices
+          ///< lost to fades/sleep can produce measurable staleness.
+};
+
+/// The IR-based protocols the paper's family covers (used by TAB-1 etc.).
+inline constexpr ProtocolKind kAllProtocols[] = {
+    ProtocolKind::kTs,  ProtocolKind::kAt,   ProtocolKind::kSig, ProtocolKind::kUir,
+    ProtocolKind::kLair, ProtocolKind::kPig, ProtocolKind::kHyb};
+
+/// Every protocol, baselines included (TAB-3, invariants tests).
+inline constexpr ProtocolKind kAllProtocolsAndBaselines[] = {
+    ProtocolKind::kTs,   ProtocolKind::kAt,  ProtocolKind::kSig,
+    ProtocolKind::kUir,  ProtocolKind::kLair, ProtocolKind::kPig,
+    ProtocolKind::kHyb,  ProtocolKind::kNc,  ProtocolKind::kPer,
+    ProtocolKind::kBs,   ProtocolKind::kCbl};
+
+std::string to_string(ProtocolKind k);
+ProtocolKind protocol_from_string(const std::string& name);
+
+/// Everything the protocols need to know, shared by server and clients.
+struct ProtoConfig {
+  // --- report timing ---
+  double ir_interval_s = 20.0;  ///< L: full-report period
+  double window_mult = 3.0;     ///< w: TS/LAIR coverage window = w·L
+  unsigned uir_m = 5;           ///< Cao's m: interval split into m slices, m−1 UIRs
+
+  // --- message sizes (bits) ---
+  Bits report_header_bits = 128;
+  Bits id_bits = 32;
+  Bits ts_bits = 32;
+  Bits request_bits = 256;      ///< uplink cache-miss request
+  Bits item_header_bits = 128;  ///< header on item broadcasts
+  Bits data_header_bits = 96;   ///< header on downlink data frames
+
+  // --- SIG ---
+  Bits sig_bits_per_item = 8;    ///< compressed signature budget per database item
+  double sig_fp_prob = 0.02;     ///< false-invalidation probability per report
+  double sig_window_mult = 10.0; ///< signature coverage window = mult·L
+
+  // --- LAIR (reconstruction) ---
+  double lair_window_s = 4.0;    ///< max deferral δmax past the nominal tick
+  double lair_step_s = 0.2;      ///< channel re-probe period while deferring
+  /// "good channel" = the broadcast coverage-reference SNR clears this floor.
+  /// The floor should sit near the lowest MCS's clean-decode point: below it the
+  /// design-coverage listener is in a fade no modulation choice can punch
+  /// through, and deferring (at low Doppler) can outwait the fade.
+  double lair_min_snr_db = 6.0;
+
+  // --- PIG (reconstruction) ---
+  double pig_horizon_s = 30.0;   ///< G: digest covers updates in (t−G, t]
+  unsigned pig_max_ids = 32;     ///< digest capacity (beyond ⇒ incomplete digest)
+
+  // --- HYB (reconstruction) ---
+  double hyb_target_gap_s = 4.0; ///< desired consistency-point spacing
+  unsigned hyb_max_m = 16;
+
+  // --- BS (Jing et al.) ---
+  unsigned bs_levels = 6;        ///< dyadic windows L·2^0 … L·2^(levels−1)
+
+  // --- PER ---
+  Bits poll_ack_bits = 96;       ///< unicast poll-reply control message
+
+  // --- CBL ---
+  double cbl_lease_s = 120.0;    ///< callback lease duration
+  Bits cbl_notice_bits = 96;     ///< unicast invalidation notice
+
+  // --- client ---
+  std::size_t cache_capacity = 150;  ///< items
+  double request_timeout_s = 15.0;   ///< re-request a missing item after this long
+
+  // --- selective tuning (energy) ---
+  /// When true, a client keeps its radio off between reports and tunes in only
+  /// around the expected report instants (plus while fetching items) — the
+  /// classic IR energy optimisation. Costs the ability to overhear digests.
+  bool selective_tuning = false;
+  double tune_guard_s = 0.2;     ///< radio on this long before the expected report
+  double tune_linger_s = 1.0;    ///< stay on this long past the expected instant
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_PROTOCOL_HPP

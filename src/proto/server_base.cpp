@@ -1,0 +1,119 @@
+#include "proto/server_base.hpp"
+
+#include <utility>
+
+namespace wdc {
+
+ServerProtocol::ServerProtocol(Simulator& sim, BroadcastMac& mac, Database& db,
+                               ProtoConfig cfg)
+    : sim_(sim), mac_(mac), db_(db), cfg_(std::move(cfg)) {
+  mac_.set_tx_observer([this](const Message& msg, std::size_t mcs, double airtime) {
+    on_transmitted(msg, mcs, airtime);
+  });
+}
+
+void ServerProtocol::on_request(ClientId /*from*/, ItemId item) {
+  if (pending_broadcast_.count(item) > 0) {
+    ++coalesced_;
+    return;  // a broadcast of this item is already queued; the requester snoops it
+  }
+  pending_broadcast_.insert(item);
+  auto payload = std::make_shared<ItemPayload>();
+  payload->version = db_.version(item);
+  payload->content_time = sim_.now();
+
+  Message msg;
+  msg.kind = MsgKind::kItemData;
+  msg.bits = cfg_.item_header_bits + db_.item_bits(item);
+  msg.item = item;
+  msg.version = payload->version;
+  decorate_item(msg, *payload);
+  msg.payload = std::move(payload);
+  ++item_broadcasts_;
+  mac_.enqueue(std::move(msg));
+}
+
+void ServerProtocol::on_downlink_frame(const TrafficFrame& frame) {
+  auto payload = std::make_shared<DataPayload>();
+  Message msg;
+  msg.kind = MsgKind::kDownlinkData;
+  msg.dest = frame.dest;
+  msg.bits = cfg_.data_header_bits + frame.bits;
+  decorate_data(msg, *payload);
+  msg.payload = std::move(payload);
+  mac_.enqueue(std::move(msg));
+}
+
+void ServerProtocol::decorate_item(Message&, ItemPayload&) {}
+void ServerProtocol::decorate_data(Message&, DataPayload&) {}
+
+void ServerProtocol::attach_digest_to(Message& msg,
+                                      std::shared_ptr<const PiggyDigest>& slot) {
+  auto digest = build_digest();
+  const Bits extra = digest->wire_bits(cfg_);
+  msg.bits += extra;
+  msg.piggyback_bits += extra;
+  digest_bits_ += extra;
+  ++digest_frames_;
+  slot = std::move(digest);
+}
+
+std::shared_ptr<const FullReport> ServerProtocol::build_full_report(
+    double window_s) const {
+  auto rep = std::make_shared<FullReport>();
+  rep->stamp = sim_.now();
+  rep->window_start = sim_.now() - window_s;
+  for (const ItemId id : db_.updated_between(rep->window_start, rep->stamp))
+    rep->updates.emplace_back(id, db_.last_update(id));
+  return rep;
+}
+
+std::shared_ptr<const MiniReport> ServerProtocol::build_mini_report(
+    SimTime anchor) const {
+  auto rep = std::make_shared<MiniReport>();
+  rep->stamp = sim_.now();
+  rep->anchor = anchor;
+  rep->updated = db_.updated_between(anchor, rep->stamp);
+  return rep;
+}
+
+std::shared_ptr<const PiggyDigest> ServerProtocol::build_digest() const {
+  auto digest = std::make_shared<PiggyDigest>();
+  digest->stamp = sim_.now();
+  digest->horizon_start = sim_.now() - cfg_.pig_horizon_s;
+  digest->updated = db_.updated_between(digest->horizon_start, digest->stamp);
+  if (digest->updated.size() > cfg_.pig_max_ids) {
+    // Keep the most recent ids (tail of the chronological list): recency maximises
+    // the chance the digest still covers entries validated at the last report.
+    digest->updated.erase(digest->updated.begin(),
+                          digest->updated.end() - cfg_.pig_max_ids);
+    digest->complete = false;
+  }
+  return digest;
+}
+
+void ServerProtocol::enqueue_full_report(std::shared_ptr<const FullReport> report) {
+  Message msg;
+  msg.kind = MsgKind::kInvalidationReport;
+  msg.bits = report->wire_bits(cfg_);
+  msg.payload = std::move(report);
+  ++reports_sent_;
+  mac_.enqueue(std::move(msg));
+}
+
+void ServerProtocol::enqueue_mini_report(std::shared_ptr<const MiniReport> report) {
+  Message msg;
+  msg.kind = MsgKind::kMiniReport;
+  msg.bits = report->wire_bits(cfg_);
+  msg.payload = std::move(report);
+  ++minis_sent_;
+  mac_.enqueue(std::move(msg));
+}
+
+void ServerProtocol::on_transmitted(const Message& msg, std::size_t /*mcs*/,
+                                    double /*airtime_s*/) {
+  if (msg.kind == MsgKind::kItemData && msg.item != kInvalidItem)
+    pending_broadcast_.erase(msg.item);
+}
+
+}  // namespace wdc

@@ -1,0 +1,40 @@
+#ifndef WDC_PROTO_SIG_HPP
+#define WDC_PROTO_SIG_HPP
+
+/// @file sig.hpp
+/// SIG — signature-based invalidation (Barbara & Imielinski's third scheme).
+///
+/// The server periodically broadcasts combined signatures (superimposed checksums)
+/// of the whole database. The report cost is *fixed* (∝ number of items), which
+/// buys tolerance of very long disconnections (window = sig_window_mult·L), at the
+/// price of (a) a large report and (b) false invalidations from signature
+/// collisions. We model the behaviour (see reports.hpp): true updates in the
+/// window are always detected; each unchanged resident entry is false-invalidated
+/// with probability `sig_fp_prob` per applied report.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+#include "sim/periodic.hpp"
+
+namespace wdc {
+
+class ServerSig final : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override;
+
+ private:
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+class ClientSig final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+ protected:
+  void handle_sig(const SigReport& report) override;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_SIG_HPP

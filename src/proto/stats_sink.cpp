@@ -1,0 +1,35 @@
+#include "proto/stats_sink.hpp"
+
+namespace wdc {
+
+void StatsSink::record_query(SimTime qtime) {
+  if (!counted(qtime)) return;
+  ++queries_;
+}
+
+void StatsSink::record_answer(SimTime qtime, double latency_s, bool hit, bool stale) {
+  if (!counted(qtime)) return;
+  ++answered_;
+  latency_.add(latency_s);
+  latency_hist_.add(latency_s);
+  if (hit) {
+    ++hits_;
+    hit_latency_.add(latency_s);
+  } else {
+    ++misses_;
+    miss_latency_.add(latency_s);
+  }
+  if (stale) ++stale_serves_;
+}
+
+void StatsSink::record_dropped(SimTime qtime) {
+  if (!counted(qtime)) return;
+  ++dropped_;
+}
+
+double StatsSink::hit_ratio() const {
+  const std::uint64_t total = hits_ + misses_;
+  return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+}
+
+}  // namespace wdc

@@ -1,0 +1,88 @@
+#ifndef WDC_PROTO_STATS_SINK_HPP
+#define WDC_PROTO_STATS_SINK_HPP
+
+/// @file stats_sink.hpp
+/// Shared collector all clients write into. One sink per simulation run.
+///
+/// Warm-up handling: events attributed to queries issued before `warmup` are not
+/// recorded (the cache starts cold; the first intervals are transient).
+
+#include <cstdint>
+
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "util/types.hpp"
+
+namespace wdc {
+
+class StatsSink {
+ public:
+  explicit StatsSink(SimTime warmup = 0.0) : warmup_(warmup) {}
+
+  bool counted(SimTime query_time) const { return query_time >= warmup_; }
+  SimTime warmup() const { return warmup_; }
+
+  /// A query was issued (already past the warm-up filter when counted).
+  void record_query(SimTime qtime);
+  /// A query was answered. `hit` = served from cache (no uplink round trip).
+  void record_answer(SimTime qtime, double latency_s, bool hit, bool stale);
+  /// A pending query was abandoned because the client went to sleep.
+  void record_dropped(SimTime qtime);
+
+  void record_report_heard() { ++reports_heard_; }
+  void record_report_missed() { ++reports_missed_; }
+  void record_digest_applied() { ++digests_applied_; }
+  void record_digest_answer() { ++digest_answers_; }
+  void record_cache_drop() { ++cache_drops_; }
+  void record_false_invalidation() { ++false_invalidations_; }
+  void record_request_retry() { ++request_retries_; }
+  void add_listen_airtime(double s) { listen_airtime_s_ += s; }
+
+  // --- readers ---
+  std::uint64_t queries() const { return queries_; }
+  std::uint64_t answered() const { return answered_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t stale_serves() const { return stale_serves_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t reports_heard() const { return reports_heard_; }
+  std::uint64_t reports_missed() const { return reports_missed_; }
+  std::uint64_t digests_applied() const { return digests_applied_; }
+  std::uint64_t digest_answers() const { return digest_answers_; }
+  std::uint64_t cache_drops() const { return cache_drops_; }
+  std::uint64_t false_invalidations() const { return false_invalidations_; }
+  std::uint64_t request_retries() const { return request_retries_; }
+  double listen_airtime_s() const { return listen_airtime_s_; }
+
+  const Summary& latency() const { return latency_; }
+  const Summary& hit_latency() const { return hit_latency_; }
+  const Summary& miss_latency() const { return miss_latency_; }
+  const Histogram& latency_hist() const { return latency_hist_; }
+
+  double hit_ratio() const;
+
+ private:
+  SimTime warmup_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t answered_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t stale_serves_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t reports_heard_ = 0;
+  std::uint64_t reports_missed_ = 0;
+  std::uint64_t digests_applied_ = 0;
+  std::uint64_t digest_answers_ = 0;
+  std::uint64_t cache_drops_ = 0;
+  std::uint64_t false_invalidations_ = 0;
+  std::uint64_t request_retries_ = 0;
+  double listen_airtime_s_ = 0.0;
+  Summary latency_;
+  Summary hit_latency_;
+  Summary miss_latency_;
+  Histogram latency_hist_{0.0, 120.0, 1200};
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_STATS_SINK_HPP

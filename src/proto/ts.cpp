@@ -1,0 +1,13 @@
+#include "proto/ts.hpp"
+
+namespace wdc {
+
+void ServerTs::start() {
+  const double L = cfg_.ir_interval_s;
+  timer_ = std::make_unique<PeriodicTimer>(
+      sim_, /*first=*/L, /*period=*/L, [this](std::uint64_t) {
+        enqueue_full_report(build_full_report(cfg_.window_mult * cfg_.ir_interval_s));
+      });
+}
+
+}  // namespace wdc

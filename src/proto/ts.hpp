@@ -1,0 +1,34 @@
+#ifndef WDC_PROTO_TS_HPP
+#define WDC_PROTO_TS_HPP
+
+/// @file ts.hpp
+/// TS — Broadcasting Timestamps (Barbara & Imielinski, 1994).
+///
+/// Server: every L seconds, broadcast the ids and update timestamps of all items
+/// updated in the last w·L seconds. Client: if it has been consistent within the
+/// window, invalidate per-timestamp; otherwise drop the whole cache.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+#include "sim/periodic.hpp"
+
+namespace wdc {
+
+class ServerTs final : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override;
+
+ private:
+  std::unique_ptr<PeriodicTimer> timer_;
+};
+
+/// TS client behaviour is exactly the ClientProtocol default handle_full().
+class ClientTs final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_TS_HPP

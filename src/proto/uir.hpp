@@ -1,0 +1,38 @@
+#ifndef WDC_PROTO_UIR_HPP
+#define WDC_PROTO_UIR_HPP
+
+/// @file uir.hpp
+/// UIR — Updated Invalidation Reports (Cao, ICDE 2000 / TKDE 2001).
+///
+/// A full TS report every L seconds anchors consistency; between full reports,
+/// m−1 small "updated" reports (ids changed since the anchor) are broadcast at
+/// L/m spacing. A synchronised client can answer queries at any (full or mini)
+/// report, cutting the expected wait from L/2 to L/(2m) at a small overhead cost.
+
+#include "proto/client_base.hpp"
+#include "proto/server_base.hpp"
+#include "sim/periodic.hpp"
+
+namespace wdc {
+
+class ServerUir final : public ServerProtocol {
+ public:
+  using ServerProtocol::ServerProtocol;
+  void start() override;
+
+ private:
+  std::unique_ptr<PeriodicTimer> timer_;
+  SimTime anchor_ = 0.0;  ///< stamp of the latest full report
+};
+
+class ClientUir final : public ClientProtocol {
+ public:
+  using ClientProtocol::ClientProtocol;
+
+ protected:
+  void handle_mini(const MiniReport& report) override { apply_mini(report); }
+};
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_UIR_HPP

@@ -1,0 +1,59 @@
+#ifndef WDC_SIM_EVENT_HPP
+#define WDC_SIM_EVENT_HPP
+
+/// @file event.hpp
+/// Event record for the discrete-event kernel.
+///
+/// Events carry an arbitrary action (type-erased callable). Ordering is by time,
+/// then by priority (lower value fires first), then by insertion sequence — the
+/// ns-2-style *stable* tie-break that makes runs bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+
+#include "util/types.hpp"
+
+namespace wdc {
+
+/// Handle used to cancel a scheduled event. Copyable, cheap.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+/// Scheduling priority for simultaneous events. The MAC uses this to guarantee,
+/// e.g., that a transmission-complete event is processed before anything scheduled
+/// "at the same instant" reacts to the channel becoming free.
+enum class EventPriority : std::uint8_t {
+  kChannel = 0,   ///< channel-state transitions
+  kTxDone = 1,    ///< transmission completions
+  kProtocol = 2,  ///< protocol timers (IR ticks, windows)
+  kWorkload = 3,  ///< query/update/traffic arrivals
+  kDefault = 4,
+  kStats = 5,     ///< sampling probes fire after everything else settles
+};
+
+using EventAction = std::function<void()>;
+
+namespace detail {
+struct EventRecord {
+  SimTime time;
+  EventPriority prio;
+  std::uint64_t seq;  // insertion order; doubles as the cancellation handle
+  EventAction action;
+  bool cancelled = false;
+};
+
+/// Min-heap ordering: earliest time, then lowest priority value, then lowest seq.
+struct EventLater {
+  bool operator()(const EventRecord& a, const EventRecord& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.prio != b.prio) return a.prio > b.prio;
+    return a.seq > b.seq;
+  }
+};
+}  // namespace detail
+
+}  // namespace wdc
+
+#endif  // WDC_SIM_EVENT_HPP

@@ -1,0 +1,56 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wdc {
+
+EventId EventQueue::push(SimTime time, EventPriority prio, EventAction action) {
+  const std::uint64_t seq = next_seq_++;
+  heap_.push_back(detail::EventRecord{time, prio, seq, std::move(action), false});
+  std::push_heap(heap_.begin(), heap_.end(), detail::EventLater{});
+  pending_.insert(seq);
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id.valid()) return false;
+  if (pending_.erase(id.seq) == 0) return false;  // already fired or never existed
+  cancelled_.insert(id.seq);
+  assert(live_ > 0);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_dead() const {
+  while (!heap_.empty() && cancelled_.count(heap_.front().seq) > 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), detail::EventLater{});
+    cancelled_.erase(heap_.back().seq);
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_dead();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead();
+  return heap_.empty() ? kNever : heap_.front().time;
+}
+
+detail::EventRecord EventQueue::pop() {
+  drop_dead();
+  assert(!heap_.empty() && "EventQueue::pop on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), detail::EventLater{});
+  detail::EventRecord rec = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(rec.seq);
+  assert(live_ > 0);
+  --live_;
+  return rec;
+}
+
+}  // namespace wdc

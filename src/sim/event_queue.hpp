@@ -1,0 +1,48 @@
+#ifndef WDC_SIM_EVENT_QUEUE_HPP
+#define WDC_SIM_EVENT_QUEUE_HPP
+
+/// @file event_queue.hpp
+/// Binary-heap pending-event set with lazy cancellation.
+///
+/// Cancellation marks the record via a side table and the heap skips dead records on
+/// pop — O(1) cancel, amortised cleanup, the standard trick for simulators with many
+/// timer cancellations (our protocols cancel deferred-IR timers frequently).
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace wdc {
+
+class EventQueue {
+ public:
+  /// Insert an event; returns a handle usable with cancel().
+  EventId push(SimTime time, EventPriority prio, EventAction action);
+
+  /// Cancel a pending event. Returns false if already fired/cancelled/unknown.
+  bool cancel(EventId id);
+
+  bool empty() const;
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kNever when empty.
+  SimTime next_time() const;
+
+  /// Remove and return the earliest live event. Caller must check !empty().
+  detail::EventRecord pop();
+
+ private:
+  void drop_dead() const;
+
+  mutable std::vector<detail::EventRecord> heap_;
+  std::unordered_set<std::uint64_t> pending_;    ///< seqs alive in heap_
+  mutable std::unordered_set<std::uint64_t> cancelled_;  ///< seqs awaiting removal
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_SIM_EVENT_QUEUE_HPP

@@ -1,0 +1,66 @@
+#ifndef WDC_SIM_PERIODIC_HPP
+#define WDC_SIM_PERIODIC_HPP
+
+/// @file periodic.hpp
+/// Self-rescheduling periodic timer (IR ticks, sampling probes). Header-only.
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace wdc {
+
+/// Fires `action(tick_index)` every `period` seconds starting at `first`.
+/// Ticks are computed as first + k*period (not cumulative adds), so long runs don't
+/// accumulate floating-point drift — IR instants stay aligned across protocols.
+class PeriodicTimer {
+ public:
+  using TickAction = std::function<void(std::uint64_t)>;
+
+  PeriodicTimer(Simulator& sim, SimTime first, SimTime period, TickAction action,
+                EventPriority prio = EventPriority::kProtocol)
+      : sim_(sim), first_(first), period_(period), action_(std::move(action)),
+        prio_(prio) {
+    arm(0);
+  }
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  ~PeriodicTimer() { stop(); }
+
+  void stop() {
+    if (pending_.valid()) {
+      sim_.cancel(pending_);
+      pending_ = EventId{};
+    }
+  }
+
+  std::uint64_t ticks_fired() const { return next_tick_; }
+
+ private:
+  void arm(std::uint64_t tick) {
+    next_tick_ = tick;
+    pending_ = sim_.schedule_at(first_ + period_ * static_cast<SimTime>(tick),
+                                [this] { fire(); }, prio_);
+  }
+
+  void fire() {
+    const std::uint64_t tick = next_tick_;
+    arm(tick + 1);       // arm first so the action may stop() us
+    action_(tick);
+  }
+
+  Simulator& sim_;
+  SimTime first_;
+  SimTime period_;
+  TickAction action_;
+  EventPriority prio_;
+  EventId pending_{};
+  std::uint64_t next_tick_ = 0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_SIM_PERIODIC_HPP

@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace wdc {
+
+EventId Simulator::schedule_at(SimTime at, EventAction action, EventPriority prio) {
+  if (at < now_)
+    throw std::logic_error("Simulator::schedule_at: time is in the past");
+  return queue_.push(at, prio, std::move(action));
+}
+
+EventId Simulator::schedule_in(SimTime delay, EventAction action, EventPriority prio) {
+  if (delay < 0.0)
+    throw std::logic_error("Simulator::schedule_in: negative delay");
+  return queue_.push(now_ + delay, prio, std::move(action));
+}
+
+bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
+
+void Simulator::run_until(SimTime end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
+    auto rec = queue_.pop();
+    now_ = rec.time;
+    ++executed_;
+    rec.action();
+  }
+  if (!stopped_ && now_ < end) now_ = end;
+}
+
+void Simulator::run_all() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    auto rec = queue_.pop();
+    now_ = rec.time;
+    ++executed_;
+    rec.action();
+  }
+}
+
+}  // namespace wdc

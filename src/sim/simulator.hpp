@@ -1,0 +1,64 @@
+#ifndef WDC_SIM_SIMULATOR_HPP
+#define WDC_SIM_SIMULATOR_HPP
+
+/// @file simulator.hpp
+/// The discrete-event simulator: clock + event queue + run loop.
+///
+/// Usage:
+///   Simulator sim;
+///   sim.schedule_in(1.0, [] { ... });
+///   sim.run_until(3600.0);
+///
+/// All model components hold a Simulator& and schedule through it. The kernel is
+/// single-threaded by design (parallelism in this project is across replications,
+/// never inside one simulation — see DESIGN.md §6).
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace wdc {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `action` at absolute time `at` (must be >= now()).
+  EventId schedule_at(SimTime at, EventAction action,
+                      EventPriority prio = EventPriority::kDefault);
+
+  /// Schedule `action` after a delay (must be >= 0).
+  EventId schedule_in(SimTime delay, EventAction action,
+                      EventPriority prio = EventPriority::kDefault);
+
+  /// Cancel a pending event; returns false if it already fired or was cancelled.
+  bool cancel(EventId id);
+
+  /// Run until the queue drains or the clock would pass `end`. The clock finishes
+  /// at exactly `end` (events at later times stay queued).
+  void run_until(SimTime end);
+
+  /// Run events until the queue is empty (use only for bounded models/tests).
+  void run_all();
+
+  /// Immediately stop the run loop after the current event returns.
+  void stop() { stopped_ = true; }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_SIM_SIMULATOR_HPP

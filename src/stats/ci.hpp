@@ -1,0 +1,34 @@
+#ifndef WDC_STATS_CI_HPP
+#define WDC_STATS_CI_HPP
+
+/// @file ci.hpp
+/// Student-t confidence intervals across independent replications — the standard
+/// way simulation papers report "mean ± half-width (95%)".
+
+#include <cstddef>
+#include <vector>
+
+namespace wdc {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;  ///< 0 when fewer than 2 replications
+  std::size_t n = 0;
+
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+  /// Half-width as a fraction of |mean| (relative precision); 0 if mean is 0.
+  double relative() const;
+};
+
+/// Two-sided Student-t critical value t_{df, (1+conf)/2}. Exact table for small df,
+/// Cornish–Fisher style normal correction for large df. conf in (0,1), e.g. 0.95.
+double student_t_critical(std::size_t df, double conf);
+
+/// CI of the mean of `samples` at confidence level `conf` (default 95%).
+ConfidenceInterval confidence_interval(const std::vector<double>& samples,
+                                       double conf = 0.95);
+
+}  // namespace wdc
+
+#endif  // WDC_STATS_CI_HPP

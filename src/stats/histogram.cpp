@@ -1,0 +1,57 @@
+#include "stats/histogram.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wdc {
+
+Histogram::Histogram(double lo, double hi, std::size_t nbins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(nbins)), bins_(nbins, 0) {
+  if (!(hi > lo)) throw std::invalid_argument("Histogram: hi must exceed lo");
+  if (nbins == 0) throw std::invalid_argument("Histogram: nbins must be > 0");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= bins_.size()) i = bins_.size() - 1;  // guard FP edge
+    ++bins_[i];
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.bins_.size() != bins_.size() || other.lo_ != lo_ || other.hi_ != hi_)
+    throw std::invalid_argument("Histogram::merge: incompatible layout");
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + width_; }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  if (q <= 0.0) return lo_;
+  if (q >= 1.0) return hi_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double c = static_cast<double>(bins_[i]);
+    if (cum + c >= target) {
+      const double frac = c > 0 ? (target - cum) / c : 0.0;
+      return bin_lo(i) + frac * width_;
+    }
+    cum += c;
+  }
+  return hi_;
+}
+
+}  // namespace wdc

@@ -1,0 +1,48 @@
+#ifndef WDC_STATS_HISTOGRAM_HPP
+#define WDC_STATS_HISTOGRAM_HPP
+
+/// @file histogram.hpp
+/// Fixed-width histogram with overflow bin and linear-interpolated quantiles.
+/// Used for query-latency distributions (paper-style percentile reporting).
+
+#include <cstdint>
+#include <vector>
+
+namespace wdc {
+
+class Histogram {
+ public:
+  /// Bins of width (hi-lo)/nbins over [lo, hi); samples outside go to under/overflow.
+  Histogram(double lo, double hi, std::size_t nbins);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::size_t nbins() const { return bins_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return bins_[i]; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+  /// Quantile q in [0,1] via linear interpolation within the containing bin.
+  /// Returns lo()/hi() bounds for quantiles falling in under/overflow.
+  double quantile(double q) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_STATS_HISTOGRAM_HPP

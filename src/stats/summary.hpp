@@ -1,0 +1,38 @@
+#ifndef WDC_STATS_SUMMARY_HPP
+#define WDC_STATS_SUMMARY_HPP
+
+/// @file summary.hpp
+/// Streaming scalar summary (Welford): count, mean, variance, min, max.
+/// Numerically stable for the millions of samples a long simulation produces.
+
+#include <cstdint>
+#include <limits>
+
+namespace wdc {
+
+class Summary {
+ public:
+  void add(double x);
+  /// Merge another summary into this one (parallel reduction of replications).
+  void merge(const Summary& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than 2 samples.
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace wdc
+
+#endif  // WDC_STATS_SUMMARY_HPP

@@ -1,0 +1,104 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/string_util.hpp"
+
+namespace wdc {
+
+Table::Table(std::vector<std::string> columns) : columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::cell(std::string value) {
+  if (rows_.empty()) throw std::logic_error("Table::cell before begin_row");
+  if (rows_.back().size() >= columns_.size())
+    throw std::logic_error("Table::cell: row already full");
+  rows_.back().push_back(std::move(value));
+}
+
+void Table::cell(double value, int precision) {
+  cell(strfmt("%.*f", precision, value));
+}
+
+void Table::cell(std::uint64_t value) {
+  cell(strfmt("%llu", static_cast<unsigned long long>(value)));
+}
+
+void Table::cell_ci(double mean, double half_width, int precision) {
+  cell(strfmt("%.*f ± %.*f", precision, mean, precision, half_width));
+}
+
+void Table::print_text(std::ostream& os, const std::string& indent) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    os << indent;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << v << std::string(widths[c] - v.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  os << indent;
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << std::string(widths[c], '-') << "  ";
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t c = 0; c < columns_.size(); ++c)
+    os << (c ? "," : "") << csv_escape(columns_[c]);
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      os << (c ? "," : "") << (c < row.size() ? csv_escape(row[c]) : std::string());
+    os << '\n';
+  }
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  os << '|';
+  for (const auto& c : columns_) os << ' ' << c << " |";
+  os << "\n|";
+  for (std::size_t c = 0; c < columns_.size(); ++c) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+      os << ' ' << (c < row.size() ? row[c] : std::string()) << " |";
+    os << '\n';
+  }
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  print_csv(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace wdc

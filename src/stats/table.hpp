@@ -1,0 +1,53 @@
+#ifndef WDC_STATS_TABLE_HPP
+#define WDC_STATS_TABLE_HPP
+
+/// @file table.hpp
+/// Results table used by every benchmark harness: named columns, rows of cells,
+/// rendered as aligned plain text (what the harness prints), CSV (for plotting), or
+/// Markdown (for EXPERIMENTS.md). Cells are strings; numeric helpers format with a
+/// chosen precision so the printed series look like a paper's table.
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wdc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Begin a new row; subsequent cell() calls fill it left to right.
+  void begin_row();
+  void cell(std::string value);
+  void cell(const char* value) { cell(std::string(value)); }
+  void cell(double value, int precision = 4);
+  void cell(std::uint64_t value);
+  void cell(int value) { cell(static_cast<std::uint64_t>(value)); }
+  /// "mean ± hw" cell.
+  void cell_ci(double mean, double half_width, int precision = 4);
+
+  /// Render with space-padded columns; `indent` prefixes every line.
+  void print_text(std::ostream& os, const std::string& indent = "") const;
+  void print_csv(std::ostream& os) const;
+  void print_markdown(std::ostream& os) const;
+
+  /// Write CSV to a file (creates/truncates). Returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_STATS_TABLE_HPP

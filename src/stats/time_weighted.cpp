@@ -1,0 +1,21 @@
+#include "stats/time_weighted.hpp"
+
+#include <cassert>
+
+namespace wdc {
+
+void TimeWeighted::update(SimTime t, double value) {
+  assert(t >= last_time_ && "TimeWeighted: time must not go backwards");
+  area_ += value_ * (t - last_time_);
+  last_time_ = t;
+  value_ = value;
+}
+
+double TimeWeighted::average(SimTime t) const {
+  assert(t >= last_time_);
+  const SimTime span = t - t0_;
+  if (span <= 0.0) return value_;
+  return (area_ + value_ * (t - last_time_)) / span;
+}
+
+}  // namespace wdc

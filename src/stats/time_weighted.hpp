@@ -1,0 +1,37 @@
+#ifndef WDC_STATS_TIME_WEIGHTED_HPP
+#define WDC_STATS_TIME_WEIGHTED_HPP
+
+/// @file time_weighted.hpp
+/// Time-weighted average of a piecewise-constant signal (queue lengths, channel
+/// occupancy, cache validity fraction, …).
+
+#include "util/types.hpp"
+
+namespace wdc {
+
+class TimeWeighted {
+ public:
+  /// @param t0      time at which the signal starts being observed
+  /// @param initial signal value on [t0, first update)
+  explicit TimeWeighted(SimTime t0 = 0.0, double initial = 0.0)
+      : t0_(t0), last_time_(t0), value_(initial) {}
+
+  /// Record that the signal changed to `value` at time `t` (t >= last update time).
+  void update(SimTime t, double value);
+
+  /// Time average over [t0, t]; `t` must be >= the last update time. Returns the
+  /// current value if no time has elapsed.
+  double average(SimTime t) const;
+
+  double current() const { return value_; }
+
+ private:
+  SimTime t0_;
+  SimTime last_time_;
+  double value_;
+  double area_ = 0.0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_STATS_TIME_WEIGHTED_HPP

@@ -1,0 +1,56 @@
+#ifndef WDC_UTIL_LOG_HPP
+#define WDC_UTIL_LOG_HPP
+
+/// @file log.hpp
+/// Minimal leveled logger. Simulation code logs rarely (the kernel is hot); logging
+/// is mainly used by examples and by traced debugging runs (WDC_LOG=debug).
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace wdc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold. Initialised from the WDC_LOG environment variable
+/// ("debug" / "info" / "warn" / "error" / "off"); defaults to kWarn.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel level);
+
+/// Emit one log line (with level prefix) to stderr if `level` passes the threshold.
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  if (log_threshold() <= LogLevel::kDebug)
+    log_line(LogLevel::kDebug, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  if (log_threshold() <= LogLevel::kInfo)
+    log_line(LogLevel::kInfo, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  if (log_threshold() <= LogLevel::kWarn)
+    log_line(LogLevel::kWarn, detail::concat(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  if (log_threshold() <= LogLevel::kError)
+    log_line(LogLevel::kError, detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace wdc
+
+#endif  // WDC_UTIL_LOG_HPP

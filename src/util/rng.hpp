@@ -1,0 +1,72 @@
+#ifndef WDC_UTIL_RNG_HPP
+#define WDC_UTIL_RNG_HPP
+
+/// @file rng.hpp
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// The simulator never uses std::mt19937 or global state: every stochastic process
+/// owns an independent Rng stream derived from a master seed via SplitMix64, so that
+/// (a) runs are bit-reproducible given a seed, and (b) replications farmed out to
+/// worker threads produce results independent of the thread count.
+
+#include <cstdint>
+
+namespace wdc {
+
+/// SplitMix64 — tiny, statistically strong seeding generator (Steele et al.).
+/// Used to expand one master seed into many independent stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the simulator's workhorse generator.
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> if ever needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four-word state from `seed` via SplitMix64 (the recommended method).
+  explicit Rng(std::uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Raw 64 random bits.
+  result_type operator()() { return next(); }
+  result_type next();
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Derive an independent child stream; deterministic function of this stream's
+  /// current state, advances this stream once.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace wdc
+
+#endif  // WDC_UTIL_RNG_HPP

@@ -1,0 +1,27 @@
+#ifndef WDC_UTIL_STRING_UTIL_HPP
+#define WDC_UTIL_STRING_UTIL_HPP
+
+/// @file string_util.hpp
+/// Small string helpers used by config parsing and table writers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wdc {
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string strfmt(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace wdc
+
+#endif  // WDC_UTIL_STRING_UTIL_HPP

@@ -1,0 +1,40 @@
+#ifndef WDC_UTIL_TYPES_HPP
+#define WDC_UTIL_TYPES_HPP
+
+/// @file types.hpp
+/// Fundamental identifier and time types shared by every wdc-sim module.
+
+#include <cstdint>
+#include <limits>
+
+namespace wdc {
+
+/// Simulation time in seconds. Continuous time, discrete events.
+using SimTime = double;
+
+/// Sentinel for "no time" / "never".
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::infinity();
+
+/// Database item identifier (0-based dense index into the server database).
+using ItemId = std::uint32_t;
+
+/// Client (mobile terminal) identifier, 0-based dense.
+using ClientId = std::uint32_t;
+
+/// Monotonically increasing per-item version number. Version 0 is the initial value.
+using Version = std::uint64_t;
+
+/// Invalid-id sentinels.
+inline constexpr ItemId kInvalidItem = std::numeric_limits<ItemId>::max();
+inline constexpr ClientId kInvalidClient = std::numeric_limits<ClientId>::max();
+
+/// Size of a protocol message in bits (reports are accounted at bit granularity so
+/// that airtime under link adaptation can be computed exactly).
+using Bits = std::uint64_t;
+
+/// Bytes→bits helper, kept constexpr so message layouts can be computed at compile time.
+constexpr Bits bits_from_bytes(std::uint64_t bytes) { return bytes * 8u; }
+
+}  // namespace wdc
+
+#endif  // WDC_UTIL_TYPES_HPP

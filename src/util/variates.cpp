@@ -1,0 +1,103 @@
+#include "util/variates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wdc {
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  if (!(rate > 0.0)) throw std::invalid_argument("Exponential: rate must be > 0");
+}
+
+double Exponential::sample(Rng& rng) const {
+  // -log(1-U)/rate; 1-uniform() is in (0,1], avoiding log(0).
+  return -std::log1p(-rng.uniform()) / rate_;
+}
+
+Normal::Normal(double mean, double stddev) : mean_(mean), stddev_(stddev) {
+  if (!(stddev >= 0.0)) throw std::invalid_argument("Normal: stddev must be >= 0");
+}
+
+double Normal::sample(Rng& rng) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean_ + stddev_ * spare_;
+  }
+  double u, v, s;
+  do {
+    u = rng.uniform(-1.0, 1.0);
+    v = rng.uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * mul;
+  has_spare_ = true;
+  return mean_ + stddev_ * (u * mul);
+}
+
+Lognormal::Lognormal(double mu, double sigma) : normal_(mu, sigma) {}
+
+double Lognormal::sample(Rng& rng) { return std::exp(normal_.sample(rng)); }
+
+Pareto::Pareto(double xm, double alpha) : xm_(xm), alpha_(alpha) {
+  if (!(xm > 0.0)) throw std::invalid_argument("Pareto: xm must be > 0");
+  if (!(alpha > 0.0)) throw std::invalid_argument("Pareto: alpha must be > 0");
+}
+
+double Pareto::sample(Rng& rng) const {
+  // Inverse transform: xm * (1-U)^(-1/alpha).
+  const double u = rng.uniform();
+  return xm_ * std::pow(1.0 - u, -1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+Zipf::Zipf(std::size_t n, double theta) : theta_(theta) {
+  if (n == 0) throw std::invalid_argument("Zipf: n must be > 0");
+  if (!(theta >= 0.0)) throw std::invalid_argument("Zipf: theta must be >= 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t Zipf::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double Zipf::pmf(std::size_t k) const {
+  if (k >= cdf_.size()) return 0.0;
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+Discrete::Discrete(std::vector<double> weights) {
+  if (weights.empty()) throw std::invalid_argument("Discrete: empty weights");
+  double acc = 0.0;
+  cdf_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] < 0.0) throw std::invalid_argument("Discrete: negative weight");
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  if (!(acc > 0.0)) throw std::invalid_argument("Discrete: zero total weight");
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t Discrete::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace wdc

@@ -1,0 +1,101 @@
+#ifndef WDC_UTIL_VARIATES_HPP
+#define WDC_UTIL_VARIATES_HPP
+
+/// @file variates.hpp
+/// Random-variate generators used by the workload, channel and traffic models.
+/// All are small value types drawing from an externally owned Rng so generators can
+/// be mixed freely on one stream or isolated on private streams.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wdc {
+
+/// Exponential(rate) — inter-arrival times of Poisson processes.
+class Exponential {
+ public:
+  /// @param rate events per second; must be > 0.
+  explicit Exponential(double rate);
+  double sample(Rng& rng) const;
+  double rate() const { return rate_; }
+  double mean() const { return 1.0 / rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Standard normal via Marsaglia polar method (cached spare value).
+class Normal {
+ public:
+  Normal(double mean, double stddev);
+  double sample(Rng& rng);
+  double mean() const { return mean_; }
+  double stddev() const { return stddev_; }
+
+ private:
+  double mean_;
+  double stddev_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Lognormal: exp(Normal(mu, sigma)). Used for shadow fading (dB domain handled
+/// by callers) and heavy-ish item sizes.
+class Lognormal {
+ public:
+  Lognormal(double mu, double sigma);
+  double sample(Rng& rng);
+
+ private:
+  Normal normal_;
+};
+
+/// Pareto (Lomax-style, xm scale, alpha shape) — heavy-tailed burst lengths.
+class Pareto {
+ public:
+  /// @param xm    minimum value (scale), > 0
+  /// @param alpha tail index, > 0 (alpha <= 1 has infinite mean)
+  Pareto(double xm, double alpha);
+  double sample(Rng& rng) const;
+  /// Mean, valid for alpha > 1.
+  double mean() const;
+
+ private:
+  double xm_;
+  double alpha_;
+};
+
+/// Zipf distribution over {0, …, n−1} with exponent theta ≥ 0 (theta = 0 is uniform).
+/// Item popularity in wireless-caching studies is canonically Zipf(0.5…1.0).
+/// Sampling is O(log n) via inverse transform on the precomputed CDF.
+class Zipf {
+ public:
+  Zipf(std::size_t n, double theta);
+  std::size_t sample(Rng& rng) const;
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+  /// P(X = k), k in [0, n).
+  double pmf(std::size_t k) const;
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(X <= k)
+};
+
+/// Discrete distribution over {0,…,n−1} given arbitrary non-negative weights.
+class Discrete {
+ public:
+  explicit Discrete(std::vector<double> weights);
+  std::size_t sample(Rng& rng) const;
+  std::size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_UTIL_VARIATES_HPP

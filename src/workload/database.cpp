@@ -1,0 +1,102 @@
+#include "workload/database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wdc {
+
+Database::Database(Simulator& sim, DatabaseConfig cfg, Rng rng)
+    : sim_(sim),
+      cfg_(cfg),
+      rng_(rng),
+      inter_update_(cfg.update_rate > 0.0 ? cfg.update_rate : 1.0),
+      items_(cfg.num_items) {
+  if (cfg_.num_items == 0) throw std::invalid_argument("Database: num_items > 0");
+  if (cfg_.hot_items > cfg_.num_items) cfg_.hot_items = cfg_.num_items;
+  if (!(cfg_.hot_update_frac >= 0.0 && cfg_.hot_update_frac <= 1.0))
+    throw std::invalid_argument("Database: hot_update_frac in [0,1]");
+  if (cfg_.item_size_sigma < 0.0)
+    throw std::invalid_argument("Database: item_size_sigma >= 0");
+  assign_item_sizes();
+  if (cfg_.update_rate > 0.0) schedule_next();
+}
+
+void Database::assign_item_sizes() {
+  item_bits_.resize(cfg_.num_items, cfg_.item_bits);
+  if (cfg_.item_size_sigma <= 0.0) return;
+  // Lognormal with mean preserved: mu = ln(mean) − sigma²/2.
+  const double sigma = cfg_.item_size_sigma;
+  const double mu = std::log(static_cast<double>(cfg_.item_bits)) - 0.5 * sigma * sigma;
+  Lognormal dist(mu, sigma);
+  for (auto& bits : item_bits_) {
+    // Floor at one radio block's worth so airtime never degenerates.
+    bits = static_cast<Bits>(std::max(64.0, dist.sample(rng_)));
+  }
+}
+
+double Database::mean_item_bits() const {
+  double acc = 0.0;
+  for (const Bits b : item_bits_) acc += static_cast<double>(b);
+  return acc / static_cast<double>(item_bits_.size());
+}
+
+void Database::schedule_next() {
+  sim_.schedule_in(inter_update_.sample(rng_),
+                   [this] {
+                     // Pick the updated item: hot set w.p. hot_update_frac.
+                     ItemId id;
+                     if (cfg_.hot_items > 0 && rng_.bernoulli(cfg_.hot_update_frac)) {
+                       id = static_cast<ItemId>(rng_.uniform_int(cfg_.hot_items));
+                     } else {
+                       const std::uint32_t cold = cfg_.num_items - cfg_.hot_items;
+                       id = cold > 0 ? static_cast<ItemId>(cfg_.hot_items +
+                                                           rng_.uniform_int(cold))
+                                     : static_cast<ItemId>(
+                                           rng_.uniform_int(cfg_.num_items));
+                     }
+                     apply_update(id);
+                     schedule_next();
+                   },
+                   EventPriority::kWorkload);
+}
+
+void Database::apply_update(ItemId id) {
+  if (id >= items_.size()) throw std::out_of_range("Database::apply_update");
+  auto& item = items_[id];
+  item.version++;
+  item.last_update = sim_.now();
+  item.history.push_back(sim_.now());
+  log_.emplace_back(sim_.now(), id);
+  ++total_updates_;
+  if (observer_) observer_(id, sim_.now());
+}
+
+std::vector<ItemId> Database::updated_between(SimTime a, SimTime b) const {
+  // Scan the global log from the first entry with time > a. Deduplicate ids.
+  std::vector<ItemId> out;
+  const auto first = std::upper_bound(
+      log_.begin(), log_.end(), a,
+      [](SimTime t, const std::pair<SimTime, ItemId>& e) { return t < e.first; });
+  std::vector<bool> seen(items_.size(), false);
+  for (auto it = first; it != log_.end() && it->first <= b; ++it) {
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+bool Database::updated_in(ItemId id, SimTime a, SimTime b) const {
+  const auto& h = items_[id].history;
+  const auto it = std::upper_bound(h.begin(), h.end(), a);
+  return it != h.end() && *it <= b;
+}
+
+Version Database::version_at(ItemId id, SimTime t) const {
+  const auto& h = items_[id].history;
+  return static_cast<Version>(std::upper_bound(h.begin(), h.end(), t) - h.begin());
+}
+
+}  // namespace wdc

@@ -1,0 +1,103 @@
+#ifndef WDC_WORKLOAD_DATABASE_HPP
+#define WDC_WORKLOAD_DATABASE_HPP
+
+/// @file database.hpp
+/// The server's item database and its update process.
+///
+/// Items carry a version (update count) and the time of their latest update. A
+/// Poisson update stream of rate λ_u selects items from a hot/cold partition
+/// (fraction `hot_update_frac` of updates land uniformly in the first `hot_items`
+/// ids — the canonical workload of the invalidation literature). The database keeps
+/// the complete per-item update history so that (a) report builders can list "ids
+/// updated in (a, b]" exactly and (b) the staleness oracle used by tests can decide
+/// whether a served answer violated consistency.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+
+struct DatabaseConfig {
+  std::uint32_t num_items = 1000;
+  Bits item_bits = bits_from_bytes(1024);  ///< mean payload size of an item
+  /// Lognormal spread of per-item sizes (σ of ln-size; 0 = every item identical).
+  /// Sizes are fixed per item at construction with mean preserved — web-object
+  /// style heterogeneity: most items small, a heavy tail of large ones.
+  double item_size_sigma = 0.0;
+  double update_rate = 0.5;                ///< server updates per second (total)
+  std::uint32_t hot_items = 50;            ///< size of the hot update subset
+  double hot_update_frac = 0.8;            ///< fraction of updates hitting the hot set
+};
+
+class Database {
+ public:
+  /// Constructs the database and, if `cfg.update_rate > 0`, starts the update
+  /// process on `sim` immediately.
+  Database(Simulator& sim, DatabaseConfig cfg, Rng rng);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  std::uint32_t num_items() const { return cfg_.num_items; }
+  /// Wire size of one item's payload (per-item under heterogeneous sizing).
+  Bits item_bits(ItemId id) const { return item_bits_[id]; }
+  /// Mean item size across the database (bits).
+  double mean_item_bits() const;
+
+  Version version(ItemId id) const { return items_[id].version; }
+  /// Time of the latest update of `id`; 0 when never updated.
+  SimTime last_update(ItemId id) const { return items_[id].last_update; }
+
+  /// Ids updated in the half-open interval (a, b], each listed once.
+  std::vector<ItemId> updated_between(SimTime a, SimTime b) const;
+
+  /// True if `id` received at least one update with time in (a, b].
+  bool updated_in(ItemId id, SimTime a, SimTime b) const;
+
+  /// Version of `id` as of time `t` (number of updates with time <= t).
+  Version version_at(ItemId id, SimTime t) const;
+
+  std::uint64_t total_updates() const { return total_updates_; }
+
+  /// Manually apply one update (tests and trace-driven runs).
+  void apply_update(ItemId id);
+
+  /// Observer invoked after every update commits (stateful/callback protocols
+  /// subscribe to push invalidation notices).
+  using UpdateObserver = std::function<void(ItemId, SimTime)>;
+  void set_update_observer(UpdateObserver obs) { observer_ = std::move(obs); }
+
+  const DatabaseConfig& config() const { return cfg_; }
+
+ private:
+  void schedule_next();
+
+  struct Item {
+    Version version = 0;
+    SimTime last_update = 0.0;
+    std::vector<SimTime> history;  ///< ascending update times
+  };
+
+  void assign_item_sizes();
+
+  Simulator& sim_;
+  DatabaseConfig cfg_;
+  Rng rng_;
+  Exponential inter_update_;
+  std::vector<Item> items_;
+  std::vector<Bits> item_bits_;
+  /// Global time-ordered update log: (time, id).
+  std::deque<std::pair<SimTime, ItemId>> log_;
+  std::uint64_t total_updates_ = 0;
+  UpdateObserver observer_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_WORKLOAD_DATABASE_HPP

@@ -1,0 +1,75 @@
+#ifndef WDC_WORKLOAD_QUERY_GEN_HPP
+#define WDC_WORKLOAD_QUERY_GEN_HPP
+
+/// @file query_gen.hpp
+/// Per-client query workload: Poisson arrivals; item choice from either
+///  * the classic hot/cold model (fraction `hot_frac` of queries uniform over the
+///    first `hot_items` ids, rest uniform over the cold remainder) — the workload
+///    of the Barbara–Imielinski/Cao evaluations, or
+///  * a Zipf popularity law over the whole item space.
+///
+/// A generator is gated by an `active` predicate (the sleep model): queries that
+/// would arrive while the client is disconnected are not generated (a powered-off
+/// terminal issues no queries). The Poisson clock keeps running so reconnection
+/// does not cause a synchronized burst.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+
+enum class QueryModel { kHotCold, kZipf };
+
+QueryModel query_model_from_string(const std::string& name);
+std::string to_string(QueryModel m);
+
+struct QueryConfig {
+  QueryModel model = QueryModel::kHotCold;
+  double rate = 0.1;           ///< queries per second per client
+  // hot/cold parameters
+  std::uint32_t hot_items = 100;  ///< ids [0, hot_items) form the hot query set
+  double hot_frac = 0.8;          ///< fraction of queries hitting the hot set
+  // zipf parameter
+  double zipf_theta = 0.9;     ///< popularity skew over the whole item space
+};
+
+class QueryGenerator {
+ public:
+  using QueryFn = std::function<void(ItemId)>;
+  using ActiveFn = std::function<bool()>;
+
+  /// Starts generating immediately.
+  QueryGenerator(Simulator& sim, const QueryConfig& cfg, std::uint32_t num_items,
+                 Rng rng, ActiveFn active, QueryFn on_query);
+
+  QueryGenerator(const QueryGenerator&) = delete;
+  QueryGenerator& operator=(const QueryGenerator&) = delete;
+
+  std::uint64_t generated() const { return generated_; }
+  std::uint64_t suppressed() const { return suppressed_; }
+
+ private:
+  void schedule_next();
+  ItemId sample_item();
+
+  Simulator& sim_;
+  QueryConfig cfg_;
+  std::uint32_t num_items_;
+  Exponential inter_arrival_;
+  std::unique_ptr<Zipf> item_dist_;  ///< only for the Zipf model
+  Rng rng_;
+  ActiveFn active_;
+  QueryFn on_query_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_WORKLOAD_QUERY_GEN_HPP

@@ -1,0 +1,40 @@
+#include "workload/sleep_model.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace wdc {
+
+SleepModel::SleepModel(Simulator& sim, const SleepConfig& cfg, Rng rng,
+                       TransitionFn on_transition)
+    : sim_(sim), rng_(rng), on_transition_(std::move(on_transition)) {
+  if (!(cfg.sleep_ratio >= 0.0 && cfg.sleep_ratio < 1.0))
+    throw std::invalid_argument("SleepConfig: sleep_ratio in [0,1)");
+  enabled_ = cfg.sleep_ratio > 0.0;
+  mean_sleep_s_ = cfg.mean_sleep_s;
+  // sleep_ratio = mean_sleep / (mean_sleep + mean_awake)
+  // ⇒ mean_awake = mean_sleep (1 − r) / r.
+  mean_awake_s_ = enabled_
+                      ? cfg.mean_sleep_s * (1.0 - cfg.sleep_ratio) / cfg.sleep_ratio
+                      : 0.0;
+  if (enabled_) schedule_transition();
+}
+
+void SleepModel::schedule_transition() {
+  const double mean = awake_ ? mean_awake_s_ : mean_sleep_s_;
+  const double dur = Exponential(1.0 / mean).sample(rng_);
+  sim_.schedule_in(dur,
+                   [this] {
+                     awake_ = !awake_;
+                     if (awake_) {
+                       last_wakeup_ = sim_.now();
+                     } else {
+                       ++episodes_;
+                     }
+                     if (on_transition_) on_transition_(awake_);
+                     schedule_transition();
+                   },
+                   EventPriority::kWorkload);
+}
+
+}  // namespace wdc

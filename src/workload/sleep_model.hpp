@@ -1,0 +1,58 @@
+#ifndef WDC_WORKLOAD_SLEEP_MODEL_HPP
+#define WDC_WORKLOAD_SLEEP_MODEL_HPP
+
+/// @file sleep_model.hpp
+/// Client disconnection (doze/power-off) model: an alternating renewal process
+/// with exponential awake and sleep durations. `sleep_ratio` (the fraction of time
+/// disconnected) is the canonical x-axis of disconnection experiments (FIG-8).
+///
+/// Transitions are *events* so protocols can react (on reconnect a client must
+/// re-validate its cache at the next report).
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+
+struct SleepConfig {
+  double sleep_ratio = 0.0;    ///< long-run fraction of time asleep (0 disables)
+  double mean_sleep_s = 100.0; ///< mean duration of one sleep episode
+};
+
+class SleepModel {
+ public:
+  using TransitionFn = std::function<void(bool awake)>;
+
+  /// Client starts awake. `on_transition` fires at every awake<->sleep edge.
+  SleepModel(Simulator& sim, const SleepConfig& cfg, Rng rng,
+             TransitionFn on_transition = nullptr);
+
+  SleepModel(const SleepModel&) = delete;
+  SleepModel& operator=(const SleepModel&) = delete;
+
+  bool awake() const { return awake_; }
+  /// Time of the most recent wake-up (0 if never slept).
+  SimTime last_wakeup() const { return last_wakeup_; }
+  std::uint64_t sleep_episodes() const { return episodes_; }
+
+ private:
+  void schedule_transition();
+
+  Simulator& sim_;
+  Rng rng_;
+  double mean_awake_s_;
+  double mean_sleep_s_;
+  bool enabled_;
+  bool awake_ = true;
+  SimTime last_wakeup_ = 0.0;
+  std::uint64_t episodes_ = 0;
+  TransitionFn on_transition_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_WORKLOAD_SLEEP_MODEL_HPP

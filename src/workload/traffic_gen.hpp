@@ -1,0 +1,78 @@
+#ifndef WDC_WORKLOAD_TRAFFIC_GEN_HPP
+#define WDC_WORKLOAD_TRAFFIC_GEN_HPP
+
+/// @file traffic_gen.hpp
+/// Background downlink traffic — the load invalidation reports compete with.
+///
+/// Two generators:
+///  * Poisson — independent frame arrivals, exponential-ish smooth load;
+///  * Pareto-burst ON/OFF — heavy-tailed ON periods emitting back-to-back frames
+///    (self-similar-like aggregate, the web-traffic regime).
+/// Both are parameterised by *offered load* in bits/s so experiments sweep one knob.
+/// Frames are handed to a sink callback (the server protocol, which may piggyback
+/// invalidation digests before the frame reaches the MAC).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+
+enum class TrafficModel { kOff, kPoisson, kParetoBurst };
+
+TrafficModel traffic_model_from_string(const std::string& name);
+std::string to_string(TrafficModel m);
+
+struct TrafficConfig {
+  TrafficModel model = TrafficModel::kPoisson;
+  double offered_bps = 20e3;               ///< average downlink load
+  Bits frame_bits = bits_from_bytes(500);  ///< mean frame size
+  double pareto_alpha = 1.5;               ///< ON-period tail index
+  double burst_mean_frames = 10.0;         ///< mean frames per ON burst
+};
+
+/// One downlink frame destined to a client.
+struct TrafficFrame {
+  ClientId dest;
+  Bits bits;
+};
+
+class TrafficGenerator {
+ public:
+  using SinkFn = std::function<void(const TrafficFrame&)>;
+
+  /// Starts generating immediately; destinations are uniform over [0, num_clients).
+  TrafficGenerator(Simulator& sim, const TrafficConfig& cfg, std::uint32_t num_clients,
+                   Rng rng, SinkFn sink);
+
+  TrafficGenerator(const TrafficGenerator&) = delete;
+  TrafficGenerator& operator=(const TrafficGenerator&) = delete;
+
+  std::uint64_t frames() const { return frames_; }
+  Bits bits() const { return bits_; }
+
+ private:
+  void schedule_poisson();
+  void schedule_burst_start();
+  void emit_burst(double remaining_frames);
+  void emit(ClientId dest);
+
+  Simulator& sim_;
+  TrafficConfig cfg_;
+  std::uint32_t num_clients_;
+  Rng rng_;
+  SinkFn sink_;
+  double frame_rate_ = 0.0;     ///< frames/s to meet offered load
+  double burst_rate_ = 0.0;     ///< bursts/s (pareto model)
+  std::uint64_t frames_ = 0;
+  Bits bits_ = 0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_WORKLOAD_TRAFFIC_GEN_HPP

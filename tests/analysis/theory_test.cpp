@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/fading_theory.hpp"
+#include "analysis/ir_theory.hpp"
+
+namespace wdc::analysis {
+namespace {
+
+TEST(IrTheory, ConsistencyWait) {
+  EXPECT_DOUBLE_EQ(expected_consistency_wait(20.0), 10.0);
+  EXPECT_DOUBLE_EQ(expected_consistency_wait(20.0, 5), 2.0);
+  EXPECT_THROW(expected_consistency_wait(0.0), std::invalid_argument);
+  EXPECT_THROW(expected_consistency_wait(10.0, 0), std::invalid_argument);
+}
+
+TEST(IrTheory, WaitWithLossReducesToLosslessAtZero) {
+  EXPECT_DOUBLE_EQ(expected_wait_with_loss(20.0, 1, 0.0), 10.0);
+  // 20% loss: 10 + 20·0.25 = 15.
+  EXPECT_DOUBLE_EQ(expected_wait_with_loss(20.0, 1, 0.2), 15.0);
+  EXPECT_THROW(expected_wait_with_loss(20.0, 1, 1.0), std::invalid_argument);
+}
+
+TEST(IrTheory, SleepDropProb) {
+  EXPECT_NEAR(sleep_drop_prob(60.0, 60.0), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(sleep_drop_prob(60.0, 0.0), 0.0);
+  EXPECT_GT(sleep_drop_prob(30.0, 60.0), sleep_drop_prob(60.0, 60.0));
+}
+
+TEST(IrTheory, DistinctUpdatesSaturatesAtPopulation) {
+  // Huge window: every item updated at least once.
+  EXPECT_NEAR(expected_distinct_updates(1e9, 1.0, 100, 20, 0.8), 100.0, 1e-6);
+  // Tiny window: ≈ rate·window (no collisions yet).
+  EXPECT_NEAR(expected_distinct_updates(0.01, 1.0, 1000, 50, 0.8), 0.01, 1e-4);
+  // Monotone in window.
+  EXPECT_LT(expected_distinct_updates(10.0, 1.0, 1000, 50, 0.8),
+            expected_distinct_updates(100.0, 1.0, 1000, 50, 0.8));
+}
+
+TEST(IrTheory, HitRatioBoundBehaviour) {
+  // No updates: every repeat query hits ⇒ bound = 1.
+  EXPECT_NEAR(hit_ratio_upper_bound(0.1, 0.8, 100, 0.0, 0.8, 50, 1000), 1.0,
+              1e-12);
+  // Faster updates ⇒ lower bound.
+  const double slow = hit_ratio_upper_bound(0.1, 0.8, 100, 0.1, 0.8, 50, 1000);
+  const double fast = hit_ratio_upper_bound(0.1, 0.8, 100, 5.0, 0.8, 50, 1000);
+  EXPECT_GT(slow, fast);
+  EXPECT_GT(slow, 0.0);
+  EXPECT_LT(slow, 1.0);
+  // Faster querying ⇒ higher bound.
+  EXPECT_GT(hit_ratio_upper_bound(0.5, 0.8, 100, 0.5, 0.8, 50, 1000),
+            hit_ratio_upper_bound(0.05, 0.8, 100, 0.5, 0.8, 50, 1000));
+}
+
+TEST(FadingTheory, OutageProbAnchors) {
+  // Threshold at the mean: 1−e^{−1}.
+  EXPECT_NEAR(rayleigh_outage_prob(15.0, 15.0), 1.0 - std::exp(-1.0), 1e-12);
+  // 10 dB below the mean: 1−e^{−0.1} ≈ 0.0952.
+  EXPECT_NEAR(rayleigh_outage_prob(5.0, 15.0), 1.0 - std::exp(-0.1), 1e-12);
+  EXPECT_LT(rayleigh_outage_prob(0.0, 20.0), rayleigh_outage_prob(10.0, 20.0));
+}
+
+TEST(FadingTheory, LcrScalesWithDoppler) {
+  const double a = rayleigh_lcr(10.0, 15.0, 5.0);
+  const double b = rayleigh_lcr(10.0, 15.0, 10.0);
+  EXPECT_NEAR(b, 2.0 * a, 1e-9);
+  EXPECT_THROW(rayleigh_lcr(10.0, 15.0, 0.0), std::invalid_argument);
+}
+
+TEST(FadingTheory, AfdShrinksWithDoppler) {
+  EXPECT_NEAR(rayleigh_afd(8.0, 15.0, 10.0),
+              rayleigh_afd(8.0, 15.0, 1.0) / 10.0, 1e-9);
+}
+
+TEST(FadingTheory, IdentityOutageEqualsLcrTimesAfd) {
+  // P_out = N(ρ)·AFD(ρ) — the defining relation of fade statistics.
+  for (const double thr : {2.0, 8.0, 14.0}) {
+    const double p = rayleigh_outage_prob(thr, 15.0);
+    const double n = rayleigh_lcr(thr, 15.0, 7.0);
+    const double d = rayleigh_afd(thr, 15.0, 7.0);
+    EXPECT_NEAR(p, n * d, 1e-9) << "thr=" << thr;
+  }
+}
+
+}  // namespace
+}  // namespace wdc::analysis

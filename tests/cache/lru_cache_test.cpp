@@ -1,0 +1,137 @@
+#include "cache/lru_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wdc {
+namespace {
+
+CacheEntry entry(ItemId id, Version v = 1, SimTime vt = 0.0) {
+  return CacheEntry{id, v, vt, vt};
+}
+
+TEST(LruCache, RejectsZeroCapacity) {
+  EXPECT_THROW(LruCache(0), std::invalid_argument);
+}
+
+TEST(LruCache, PutThenGet) {
+  LruCache c(4);
+  c.put(entry(1, 7, 3.0));
+  CacheEntry* e = c.get(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->version, 7u);
+  EXPECT_DOUBLE_EQ(e->version_time, 3.0);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(LruCache, GetMissReturnsNull) {
+  LruCache c(4);
+  EXPECT_EQ(c.get(5), nullptr);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, PutOverwritesExisting) {
+  LruCache c(4);
+  c.put(entry(1, 1));
+  c.put(entry(1, 2));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.get(1)->version, 2u);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache c(2);
+  c.put(entry(1));
+  c.put(entry(2));
+  const auto victim = c.put(entry(3));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);
+  EXPECT_EQ(c.peek(1), nullptr);
+  EXPECT_NE(c.peek(2), nullptr);
+  EXPECT_EQ(c.evictions(), 1u);
+}
+
+TEST(LruCache, GetRefreshesRecency) {
+  LruCache c(2);
+  c.put(entry(1));
+  c.put(entry(2));
+  c.get(1);  // 1 becomes MRU; 2 is now LRU
+  const auto victim = c.put(entry(3));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 2u);
+}
+
+TEST(LruCache, PeekDoesNotRefreshRecency) {
+  LruCache c(2);
+  c.put(entry(1));
+  c.put(entry(2));
+  c.peek(1);  // no recency change: 1 stays LRU
+  const auto victim = c.put(entry(3));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(*victim, 1u);
+}
+
+TEST(LruCache, EraseRemoves) {
+  LruCache c(4);
+  c.put(entry(1));
+  EXPECT_TRUE(c.erase(1));
+  EXPECT_FALSE(c.erase(1));
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(LruCache, ClearEmptiesAndCounts) {
+  LruCache c(4);
+  c.put(entry(1));
+  c.put(entry(2));
+  c.clear();
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(c.clears(), 1u);
+  c.clear();  // clearing empty cache is not counted
+  EXPECT_EQ(c.clears(), 1u);
+}
+
+TEST(LruCache, RevalidateAllStampsEveryEntry) {
+  LruCache c(4);
+  c.put(entry(1, 1, 1.0));
+  c.put(entry(2, 1, 2.0));
+  c.revalidate_all(9.0);
+  EXPECT_DOUBLE_EQ(c.peek(1)->validated_at, 9.0);
+  EXPECT_DOUBLE_EQ(c.peek(2)->validated_at, 9.0);
+  // version_time untouched
+  EXPECT_DOUBLE_EQ(c.peek(1)->version_time, 1.0);
+}
+
+TEST(LruCache, ResidentListsAll) {
+  LruCache c(4);
+  c.put(entry(3));
+  c.put(entry(1));
+  auto ids = c.resident();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<ItemId>{1, 3}));
+}
+
+TEST(LruCache, RejectsInvalidId) {
+  LruCache c(4);
+  EXPECT_THROW(c.put(entry(kInvalidItem)), std::invalid_argument);
+}
+
+TEST(LruCache, HitMissCounters) {
+  LruCache c(4);
+  c.put(entry(1));
+  c.get(1);
+  c.get(2);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(LruCache, StressCapacityNeverExceeded) {
+  LruCache c(16);
+  for (ItemId i = 0; i < 1000; ++i) {
+    c.put(entry(i % 64));
+    ASSERT_LE(c.size(), 16u);
+  }
+  EXPECT_EQ(c.size(), 16u);
+}
+
+}  // namespace
+}  // namespace wdc

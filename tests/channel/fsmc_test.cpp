@@ -1,0 +1,96 @@
+#include "channel/fsmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(Fsmc, RejectsBadParams) {
+  EXPECT_THROW(Fsmc(10.0, 5.0, 1, 0.005, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(Fsmc(10.0, 5.0, 8, 0.0, Rng(1)), std::invalid_argument);
+  EXPECT_THROW(Fsmc(10.0, 0.0, 8, 0.005, Rng(1)), std::invalid_argument);
+}
+
+TEST(Fsmc, ThresholdsAreIncreasing) {
+  Fsmc f(15.0, 10.0, 8, 0.005, Rng(2));
+  for (unsigned k = 1; k <= 8; ++k)
+    EXPECT_GT(f.threshold_db(k), f.threshold_db(k - 1));
+  EXPECT_TRUE(std::isinf(f.threshold_db(8)));
+  EXPECT_TRUE(std::isinf(f.threshold_db(0)));  // −inf
+  EXPECT_LT(f.threshold_db(0), 0.0);
+}
+
+TEST(Fsmc, TimeAverageSnrReconstructsMean) {
+  // Long-run linear average of the representative SNRs (equiprobable states)
+  // must come back close to the configured mean SNR.
+  Fsmc f(15.0, 25.0, 8, 0.002, Rng(3));
+  double acc = 0.0;
+  const int n = 300000;
+  for (int i = 0; i < n; ++i)
+    acc += std::pow(10.0, f.snr_db(i * 0.002) / 10.0);
+  const double mean_db = 10.0 * std::log10(acc / n);
+  EXPECT_NEAR(mean_db, 15.0, 1.0);
+}
+
+TEST(Fsmc, StationaryDistributionIsEquiprobable) {
+  Fsmc f(12.0, 20.0, 4, 0.002, Rng(5));
+  std::vector<int> counts(4, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[f.state(i * 0.002)]++;
+  for (const int c : counts)
+    EXPECT_NEAR(c / static_cast<double>(n), 0.25, 0.05);
+}
+
+TEST(Fsmc, OnlyAdjacentTransitions) {
+  // Slot width 2^-8 is exactly representable, so probing once per slot observes
+  // every individual transition (no FP drift across slot boundaries).
+  const double slot = 1.0 / 256.0;
+  Fsmc f(12.0, 30.0, 8, slot, Rng(6));
+  unsigned prev = f.state(0.0);
+  for (int i = 1; i < 50000; ++i) {
+    const unsigned s = f.state(i * slot);
+    EXPECT_LE(s > prev ? s - prev : prev - s, 1u);
+    prev = s;
+  }
+}
+
+TEST(Fsmc, HigherDopplerMeansMoreTransitions) {
+  const auto count_transitions = [](double fd, std::uint64_t seed) {
+    Fsmc f(12.0, fd, 8, 0.005, Rng(seed));
+    unsigned prev = f.state(0.0);
+    int transitions = 0;
+    for (int i = 1; i < 40000; ++i) {
+      const unsigned s = f.state(i * 0.005);
+      if (s != prev) ++transitions;
+      prev = s;
+    }
+    return transitions;
+  };
+  EXPECT_GT(count_transitions(50.0, 7), 2 * count_transitions(3.0, 7));
+}
+
+TEST(Fsmc, SnrDbMatchesStateRepresentative) {
+  Fsmc f(15.0, 10.0, 8, 0.005, Rng(8));
+  const unsigned s = f.state(1.0);
+  const double snr = f.snr_db(1.0);
+  // The representative SNR must fall inside the state's threshold interval.
+  EXPECT_GE(snr, f.threshold_db(s) - 1e-9);
+  if (!std::isinf(f.threshold_db(s + 1)))
+    EXPECT_LE(snr, f.threshold_db(s + 1) + 1e-9);
+}
+
+TEST(Fsmc, BoundaryStatesHaveOneWayTransitions) {
+  Fsmc f(15.0, 10.0, 8, 0.005, Rng(9));
+  EXPECT_DOUBLE_EQ(f.p_down(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.p_up(7), 0.0);
+  for (unsigned k = 0; k < 8; ++k)
+    EXPECT_LE(f.p_up(k) + f.p_down(k), 0.95);
+}
+
+}  // namespace
+}  // namespace wdc

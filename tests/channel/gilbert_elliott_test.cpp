@@ -1,0 +1,59 @@
+#include "channel/gilbert_elliott.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wdc {
+namespace {
+
+TEST(GilbertElliott, StationaryGoodFraction) {
+  GilbertElliott ge(4.0, 1.0, 20.0, -5.0, Rng(1));
+  EXPECT_DOUBLE_EQ(ge.stationary_good(), 0.8);
+  int good = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    if (ge.good(i * 0.01)) ++good;
+  EXPECT_NEAR(good / static_cast<double>(n), 0.8, 0.03);
+}
+
+TEST(GilbertElliott, SnrLevelsMatchState) {
+  GilbertElliott ge(1.0, 1.0, 18.0, -3.0, Rng(2));
+  for (int i = 0; i < 1000; ++i) {
+    const double t = i * 0.05;
+    const bool g = ge.good(t);
+    EXPECT_DOUBLE_EQ(ge.snr_db(t), g ? 18.0 : -3.0);
+  }
+}
+
+TEST(GilbertElliott, SojournsHaveConfiguredMeans) {
+  GilbertElliott ge(2.0, 0.5, 20.0, 0.0, Rng(3));
+  // Measure mean sojourn lengths by sampling on a fine grid.
+  double t = 0.0;
+  const double dt = 0.001;
+  bool state = ge.good(0.0);
+  double run = 0.0;
+  double good_total = 0.0, bad_total = 0.0;
+  int good_runs = 0, bad_runs = 0;
+  for (int i = 1; i < 2000000; ++i) {
+    t = i * dt;
+    const bool s = ge.good(t);
+    run += dt;
+    if (s != state) {
+      if (state) {
+        good_total += run;
+        ++good_runs;
+      } else {
+        bad_total += run;
+        ++bad_runs;
+      }
+      run = 0.0;
+      state = s;
+    }
+  }
+  ASSERT_GT(good_runs, 100);
+  ASSERT_GT(bad_runs, 100);
+  EXPECT_NEAR(good_total / good_runs, 2.0, 0.2);
+  EXPECT_NEAR(bad_total / bad_runs, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace wdc

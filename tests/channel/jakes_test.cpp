@@ -1,0 +1,99 @@
+#include "channel/jakes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(Jakes, RejectsBadParams) {
+  Rng rng(1);
+  EXPECT_THROW(JakesFader(0.0, rng), std::invalid_argument);
+  EXPECT_THROW(JakesFader(-1.0, rng), std::invalid_argument);
+  EXPECT_THROW(JakesFader(10.0, rng, 2), std::invalid_argument);
+}
+
+TEST(Jakes, UnitMeanPower) {
+  Rng rng(2);
+  JakesFader f(10.0, rng, 16);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += f.power_gain(i * 0.037);  // >> coherence time
+  EXPECT_NEAR(sum / n, 1.0, 0.05);
+}
+
+TEST(Jakes, DeterministicGivenPhases) {
+  Rng rng(3);
+  JakesFader f(5.0, rng);
+  EXPECT_DOUBLE_EQ(f.power_gain(1.234), f.power_gain(1.234));
+}
+
+TEST(Jakes, DifferentSeedsDecorrelated) {
+  Rng r1(4), r2(5);
+  JakesFader a(5.0, r1), b(5.0, r2);
+  EXPECT_NE(a.power_gain(1.0), b.power_gain(1.0));
+}
+
+TEST(Jakes, CoherentOverShortLags) {
+  // Correlation of g(t) and g(t+tau) for tau << 1/fd should be high.
+  Rng rng(6);
+  JakesFader f(2.0, rng);  // coherence ~ 0.2 s
+  double same = 0.0, base = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const double t = i * 1.3;
+    const double g0 = f.power_gain(t);
+    const double g1 = f.power_gain(t + 0.005);
+    same += std::fabs(g1 - g0);
+    base += g0;
+  }
+  // Mean absolute change over 5 ms must be small relative to the mean level.
+  EXPECT_LT(same / n, 0.15 * (base / n));
+}
+
+TEST(Jakes, DecorrelatedOverLongLags) {
+  Rng rng(7);
+  JakesFader f(20.0, rng);
+  // Empirical correlation between samples far beyond the coherence time.
+  double sxy = 0.0, sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double t = i * 2.11;
+    const double x = f.power_gain(t);
+    const double y = f.power_gain(t + 1.0);  // 20 coherence times later
+    sx += x; sy += y; sxy += x * y; sxx += x * x; syy += y * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  const double corr = cov / std::sqrt(vx * vy);
+  EXPECT_LT(std::fabs(corr), 0.12);
+}
+
+TEST(Jakes, RayleighDistributionShape) {
+  // Power gain should be ~Exp(1): P(g < 0.1) ≈ 0.095, P(g > 2.3) ≈ 0.10.
+  Rng rng(8);
+  JakesFader f(10.0, rng, 32);
+  int deep = 0, high = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = f.power_gain(i * 0.073);
+    if (g < 0.1) ++deep;
+    if (g > 2.3) ++high;
+  }
+  EXPECT_NEAR(deep / static_cast<double>(n), 1.0 - std::exp(-0.1), 0.03);
+  EXPECT_NEAR(high / static_cast<double>(n), std::exp(-2.3), 0.03);
+}
+
+TEST(Jakes, DbConversion) {
+  Rng rng(9);
+  JakesFader f(5.0, rng);
+  const double g = f.power_gain(0.5);
+  EXPECT_NEAR(f.power_gain_db(0.5), 10.0 * std::log10(g), 1e-9);
+}
+
+}  // namespace
+}  // namespace wdc

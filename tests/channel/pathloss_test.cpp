@@ -1,0 +1,61 @@
+#include "channel/pathloss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(PathLoss, ReferencePoint) {
+  PathLossModel pl{30.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(pl.loss_db(1.0), 30.0);
+}
+
+TEST(PathLoss, TenXDistanceAddsTenN) {
+  PathLossModel pl{30.0, 1.0, 3.0};
+  EXPECT_NEAR(pl.loss_db(10.0), 60.0, 1e-9);
+  EXPECT_NEAR(pl.loss_db(100.0), 90.0, 1e-9);
+}
+
+TEST(PathLoss, ClampedBelowReference) {
+  PathLossModel pl{30.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(pl.loss_db(0.1), 30.0);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  PathLossModel pl{30.0, 1.0, 3.5};
+  double prev = 0.0;
+  for (double d = 1.0; d < 1000.0; d *= 1.5) {
+    const double l = pl.loss_db(d);
+    EXPECT_GT(l, prev);
+    prev = l;
+  }
+}
+
+TEST(CellGeometry, DistancesWithinAnnulus) {
+  CellGeometry cell{500.0, 10.0};
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = cell.sample_distance(rng);
+    ASSERT_GE(d, 10.0);
+    ASSERT_LE(d, 500.0);
+  }
+}
+
+TEST(CellGeometry, UniformByArea) {
+  // P(d <= r) = (r²−r0²)/(R²−r0²); check the median radius.
+  CellGeometry cell{100.0, 0.0};
+  Rng rng(2);
+  int inside = 0;
+  const int n = 100000;
+  const double median_r = 100.0 / std::sqrt(2.0);
+  for (int i = 0; i < n; ++i)
+    if (cell.sample_distance(rng) <= median_r) ++inside;
+  EXPECT_NEAR(inside / static_cast<double>(n), 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,51 @@
+#include "channel/shadowing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wdc {
+namespace {
+
+TEST(Shadowing, DisabledIsZero) {
+  Shadowing sh(0.0, 30.0, Rng(1));
+  EXPECT_DOUBLE_EQ(sh.gain_db(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sh.gain_db(100.0), 0.0);
+}
+
+TEST(Shadowing, StaticWhenNoDecorrelation) {
+  Shadowing sh(8.0, 0.0, Rng(2));
+  const double v = sh.gain_db(0.0);
+  EXPECT_DOUBLE_EQ(sh.gain_db(50.0), v);
+  EXPECT_DOUBLE_EQ(sh.gain_db(500.0), v);
+}
+
+TEST(Shadowing, StationaryVarianceMatchesSigma) {
+  // Sample the OU process at widely spaced times: values ~ N(0, sigma²).
+  Shadowing sh(6.0, 1.0, Rng(3));
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 1; i <= n; ++i) {
+    const double v = sh.gain_db(static_cast<double>(i) * 20.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(var, 36.0, 2.0);
+}
+
+TEST(Shadowing, ShortGapsAreCorrelated) {
+  Shadowing sh(6.0, 100.0, Rng(4));
+  const double a = sh.gain_db(1.0);
+  const double b = sh.gain_db(1.5);  // dt << decorr time
+  EXPECT_NEAR(a, b, 3.0);
+}
+
+TEST(Shadowing, DifferentSeedsDiffer) {
+  Shadowing a(8.0, 0.0, Rng(5));
+  Shadowing b(8.0, 0.0, Rng(6));
+  EXPECT_NE(a.gain_db(0.0), b.gain_db(0.0));
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,78 @@
+#include "channel/snr_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wdc {
+namespace {
+
+TEST(FixedSnr, Constant) {
+  FixedSnr s(12.5);
+  EXPECT_DOUBLE_EQ(s.snr_db(0.0), 12.5);
+  EXPECT_DOUBLE_EQ(s.snr_db(100.0), 12.5);
+  EXPECT_DOUBLE_EQ(s.mean_snr_db(), 12.5);
+}
+
+TEST(RayleighSnr, LongRunLinearMeanMatches) {
+  Rng rng(1);
+  RayleighSnr s(18.0, 15.0, 0.0, 0.0, rng);
+  double acc = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    acc += std::pow(10.0, s.snr_db(i * 0.091) / 10.0);
+  EXPECT_NEAR(10.0 * std::log10(acc / n), 18.0, 0.6);
+  EXPECT_DOUBLE_EQ(s.mean_snr_db(), 18.0);
+}
+
+TEST(FadingModelParsing, RoundTrips) {
+  for (const auto m : {FadingModel::kNone, FadingModel::kRayleigh,
+                       FadingModel::kFsmc, FadingModel::kGilbertElliott})
+    EXPECT_EQ(fading_model_from_string(to_string(m)), m);
+  EXPECT_THROW(fading_model_from_string("bogus"), std::invalid_argument);
+}
+
+TEST(MakeSnrProcess, BuildsEveryModel) {
+  Rng rng(2);
+  FadingConfig cfg;
+  for (const auto m : {FadingModel::kNone, FadingModel::kRayleigh,
+                       FadingModel::kFsmc, FadingModel::kGilbertElliott}) {
+    cfg.model = m;
+    auto p = make_snr_process(cfg, 15.0, rng);
+    ASSERT_NE(p, nullptr);
+    // All processes must return a finite SNR and remember a plausible mean.
+    EXPECT_TRUE(std::isfinite(p->snr_db(1.0)));
+    EXPECT_TRUE(std::isfinite(p->mean_snr_db()));
+  }
+}
+
+TEST(MakeSnrProcess, NoneModelIgnoresFadingParams) {
+  Rng rng(3);
+  FadingConfig cfg;
+  cfg.model = FadingModel::kNone;
+  auto p = make_snr_process(cfg, 7.0, rng);
+  EXPECT_DOUBLE_EQ(p->snr_db(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(p->snr_db(9.0), 7.0);
+}
+
+TEST(GilbertElliottSnr, MeanIsStationaryMix) {
+  Rng rng(4);
+  FadingConfig cfg;
+  cfg.model = FadingModel::kGilbertElliott;
+  cfg.ge_mean_good_s = 1.0;
+  cfg.ge_mean_bad_s = 1.0;
+  cfg.ge_bad_snr_db = -10.0;
+  auto p = make_snr_process(cfg, 20.0, rng);
+  // 50/50 mix of 20 dB (100x) and −10 dB (0.1x) ⇒ ≈ 50.05 linear ⇒ ≈ 17 dB.
+  EXPECT_NEAR(p->mean_snr_db(), 10.0 * std::log10(50.05), 0.01);
+}
+
+TEST(RayleighSnr, ShadowingShiftsButKeepsFiniteness) {
+  Rng rng(5);
+  RayleighSnr s(10.0, 5.0, 8.0, 50.0, rng);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_TRUE(std::isfinite(s.snr_db(i * 0.5)));
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "engine/simulation.hpp"
+
+/// Coherence between Metrics and the underlying component counters — guards
+/// against collect() drifting from the sources of truth as metrics are added.
+
+namespace wdc {
+namespace {
+
+TEST(Accounting, MetricsAgreeWithComponents) {
+  Scenario sc;
+  sc.protocol = ProtocolKind::kUir;
+  sc.num_clients = 12;
+  sc.db.num_items = 200;
+  sc.sim_time_s = 600.0;
+  sc.warmup_s = 100.0;
+  sc.seed = 99;
+  Simulation sim(sc);
+  const Metrics m = sim.run();
+
+  // MAC transmission counts back the server's send counters (ARQ retries can
+  // only add transmissions for unicast kinds; reports are broadcast = 1 tx).
+  // Send counters tick at enqueue, MAC counters at transmission completion, so
+  // the last report can still be queued when the clock stops.
+  const auto& ir = sim.mac().stats(MsgKind::kInvalidationReport);
+  const auto& mini = sim.mac().stats(MsgKind::kMiniReport);
+  EXPECT_LE(ir.transmitted, m.reports_sent);
+  EXPECT_GE(ir.transmitted + 1, m.reports_sent);
+  EXPECT_LE(mini.transmitted, m.minis_sent);
+  EXPECT_GE(mini.transmitted + 1, m.minis_sent);
+  EXPECT_EQ(ir.bits + mini.bits, m.report_bits);
+
+  // Report airtime equals the sum the MAC measured.
+  EXPECT_DOUBLE_EQ(m.report_airtime_s, ir.airtime_s + mini.airtime_s);
+
+  // Every item broadcast the server issued was transmitted exactly once
+  // (modulo a queued tail at the cutoff).
+  const auto& item = sim.mac().stats(MsgKind::kItemData);
+  EXPECT_LE(item.transmitted, m.item_broadcasts);
+  EXPECT_GE(item.transmitted + 3, m.item_broadcasts);
+
+  // The sink's answer counters aggregate to the metric fields.
+  EXPECT_EQ(sim.sink().hits(), m.hits);
+  EXPECT_EQ(sim.sink().misses(), m.misses);
+  EXPECT_EQ(sim.sink().answered(), m.answered);
+
+  // Airtime by kind reconstructs the busy fraction (up to one in-flight frame).
+  double total_airtime = 0.0;
+  for (const auto kind :
+       {MsgKind::kInvalidationReport, MsgKind::kMiniReport, MsgKind::kControl,
+        MsgKind::kItemData, MsgKind::kDownlinkData})
+    total_airtime += sim.mac().stats(kind).airtime_s;
+  EXPECT_NEAR(total_airtime / m.sim_time_s, m.mac_busy_frac, 2e-3);
+
+  // Conservation: counted queries are answered, dropped, or still pending (the
+  // pending set may also hold uncounted warm-up stragglers, hence inequalities).
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < sim.num_clients(); ++i)
+    pending += sim.client(i).pending_queries();
+  EXPECT_LE(m.answered + m.dropped_queries, m.queries);
+  EXPECT_GE(m.answered + m.dropped_queries + pending, m.queries);
+}
+
+TEST(Accounting, WarmupOnlyAffectsSinkNotMac) {
+  // MAC counters cover the whole run; sink counters only the measured window.
+  Scenario sc;
+  sc.protocol = ProtocolKind::kTs;
+  sc.num_clients = 10;
+  sc.db.num_items = 150;
+  sc.sim_time_s = 500.0;
+  sc.warmup_s = 250.0;
+  sc.seed = 5;
+  Simulation sim(sc);
+  const Metrics m = sim.run();
+  // Reports are sent every 20 s over 500 s ⇒ 25 regardless of warm-up…
+  EXPECT_EQ(m.reports_sent, 25u);
+  // …but queries counted only from t=250 (≈ half of those generated).
+  EXPECT_LT(m.queries, 10 * 0.1 * 400);
+}
+
+}  // namespace
+}  // namespace wdc

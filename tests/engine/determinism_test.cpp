@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "engine/simulation.hpp"
+
+/// Same-seed bit-reproducibility for EVERY protocol (baselines included) — the
+/// property the replication machinery and all regression comparisons rest on.
+
+namespace wdc {
+namespace {
+
+class ProtocolDeterminism : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ProtocolDeterminism, SameSeedSameRun) {
+  Scenario s;
+  s.protocol = GetParam();
+  s.seed = 321;
+  s.num_clients = 8;
+  s.db.num_items = 150;
+  s.sim_time_s = 400.0;
+  s.warmup_s = 50.0;
+  s.sleep.sleep_ratio = 0.1;
+  s.traffic.offered_bps = 10e3;
+
+  const Metrics a = run_scenario(s);
+  const Metrics b = run_scenario(s);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.answered, b.answered);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.reports_missed, b.reports_missed);
+  EXPECT_EQ(a.uplink_requests, b.uplink_requests);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.mac_busy_frac, b.mac_busy_frac);
+  // CBL is deliberately best-effort (stale serves possible); determinism still
+  // requires both runs to agree on the count.
+  EXPECT_EQ(a.stale_serves, b.stale_serves);
+  if (GetParam() != ProtocolKind::kCbl) EXPECT_EQ(a.stale_serves, 0u);
+}
+
+TEST_P(ProtocolDeterminism, WifiRadioAlsoRuns) {
+  Scenario s;
+  s.protocol = GetParam();
+  s.radio = RadioTable::kWifi11b;
+  s.mean_snr_db = 12.0;
+  s.num_clients = 6;
+  s.db.num_items = 100;
+  s.sim_time_s = 300.0;
+  s.warmup_s = 50.0;
+  const Metrics m = run_scenario(s);
+  EXPECT_GT(m.answered, 0u);
+  if (GetParam() != ProtocolKind::kCbl) EXPECT_EQ(m.stale_serves, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAndBaselines, ProtocolDeterminism,
+    ::testing::ValuesIn(std::begin(kAllProtocolsAndBaselines),
+                        std::end(kAllProtocolsAndBaselines)),
+    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
+      return to_string(info.param);
+    });
+
+}  // namespace
+}  // namespace wdc

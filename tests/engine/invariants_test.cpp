@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "engine/simulation.hpp"
+
+/// Property tests run against EVERY protocol under a hostile environment
+/// (fading + sleep + background traffic): whatever the scheme, the consistency
+/// contract and the accounting identities must hold.
+
+namespace wdc {
+namespace {
+
+struct InvariantCase {
+  ProtocolKind protocol;
+  FadingModel fading;
+  double sleep_ratio;
+};
+
+std::string case_name(const ::testing::TestParamInfo<InvariantCase>& info) {
+  std::string n = to_string(info.param.protocol) + std::string("_") +
+                  to_string(info.param.fading);
+  n += info.param.sleep_ratio > 0.0 ? "_sleep" : "_nosleep";
+  for (auto& ch : n)
+    if (ch == '-') ch = '_';
+  return n;
+}
+
+class ProtocolInvariants : public ::testing::TestWithParam<InvariantCase> {};
+
+TEST_P(ProtocolInvariants, HoldUnderHostileEnvironment) {
+  const InvariantCase& param = GetParam();
+  Scenario s;
+  s.protocol = param.protocol;
+  s.seed = 1234;
+  s.num_clients = 15;
+  s.db.num_items = 300;
+  s.db.update_rate = 1.0;
+  s.sim_time_s = 800.0;
+  s.warmup_s = 100.0;
+  s.fading.model = param.fading;
+  s.sleep.sleep_ratio = param.sleep_ratio;
+  s.sleep.mean_sleep_s = 40.0;
+  s.traffic.offered_bps = 15e3;
+
+  const Metrics m = run_scenario(s);
+
+  // THE invariant: no protocol in the IR family (or the strongly consistent
+  // baselines) ever serves a stale answer. CBL is best-effort by design: its
+  // violations must stay rare (that measured rate is TAB-3's point).
+  if (param.protocol == ProtocolKind::kCbl) {
+    EXPECT_LT(static_cast<double>(m.stale_serves),
+              0.02 * static_cast<double>(m.answered) + 5.0);
+  } else {
+    EXPECT_EQ(m.stale_serves, 0u);
+  }
+
+  // Accounting identities.
+  EXPECT_EQ(m.hits + m.misses, m.answered);
+  EXPECT_LE(m.answered + m.dropped_queries, m.queries);
+  EXPECT_GE(m.hit_ratio, 0.0);
+  EXPECT_LE(m.hit_ratio, 1.0);
+  EXPECT_GE(m.report_loss_rate, 0.0);
+  EXPECT_LT(m.report_loss_rate, 1.0);
+  EXPECT_GE(m.mac_busy_frac, 0.0);
+  EXPECT_LE(m.mac_busy_frac, 1.0 + 1e-9);
+
+  // Latency sanity: bounded below by 0 and above by a few report periods under
+  // a functioning system.
+  EXPECT_GE(m.mean_latency_s, 0.0);
+  EXPECT_GT(m.answered, 50u);
+  EXPECT_LT(m.p50_latency_s, 5.0 * s.proto.ir_interval_s);
+
+  // Misses require an uplink request (retries can add more, never fewer).
+  EXPECT_GE(m.uplink_requests + m.coalesced_requests, m.misses / 2);
+
+  // Report-based schemes actually broadcast reports and clients heard some
+  // (the NC/PER baselines are report-free by design).
+  const bool report_free = param.protocol == ProtocolKind::kNc ||
+                           param.protocol == ProtocolKind::kPer ||
+                           param.protocol == ProtocolKind::kCbl;
+  if (!report_free) {
+    EXPECT_GT(m.reports_sent, 0u);
+    EXPECT_GT(m.reports_heard, 0u);
+  } else {
+    EXPECT_EQ(m.reports_sent, 0u);
+  }
+
+  // Energy accounting only grows.
+  EXPECT_GE(m.listen_airtime_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolInvariants,
+    ::testing::Values(
+        InvariantCase{ProtocolKind::kTs, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kAt, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kSig, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kUir, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kLair, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kPig, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kHyb, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kTs, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kAt, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kSig, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kUir, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kLair, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kPig, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kHyb, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kTs, FadingModel::kFsmc, 0.1},
+        InvariantCase{ProtocolKind::kUir, FadingModel::kFsmc, 0.1},
+        InvariantCase{ProtocolKind::kHyb, FadingModel::kFsmc, 0.1},
+        InvariantCase{ProtocolKind::kTs, FadingModel::kGilbertElliott, 0.1},
+        InvariantCase{ProtocolKind::kHyb, FadingModel::kGilbertElliott, 0.1},
+        InvariantCase{ProtocolKind::kTs, FadingModel::kNone, 0.0},
+        InvariantCase{ProtocolKind::kHyb, FadingModel::kNone, 0.0},
+        InvariantCase{ProtocolKind::kNc, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kPer, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kBs, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kNc, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kPer, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kBs, FadingModel::kRayleigh, 0.2},
+        InvariantCase{ProtocolKind::kCbl, FadingModel::kRayleigh, 0.0},
+        InvariantCase{ProtocolKind::kCbl, FadingModel::kRayleigh, 0.2}),
+    case_name);
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,70 @@
+#include "engine/replication.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wdc {
+namespace {
+
+Scenario tiny() {
+  Scenario s;
+  s.num_clients = 5;
+  s.db.num_items = 100;
+  s.sim_time_s = 300.0;
+  s.warmup_s = 50.0;
+  s.seed = 77;
+  return s;
+}
+
+TEST(Replication, ZeroRepsIsEmpty) {
+  EXPECT_TRUE(run_replications(tiny(), 0).empty());
+}
+
+TEST(Replication, ProducesRequestedCount) {
+  const auto rs = run_replications(tiny(), 3, 1);
+  EXPECT_EQ(rs.size(), 3u);
+  for (const auto& m : rs) EXPECT_GT(m.answered, 0u);
+}
+
+TEST(Replication, SeedsAreDistinctPerReplication) {
+  const auto rs = run_replications(tiny(), 3, 1);
+  EXPECT_NE(rs[0].seed, rs[1].seed);
+  EXPECT_NE(rs[1].seed, rs[2].seed);
+  EXPECT_NE(rs[0].events, rs[1].events);
+}
+
+TEST(Replication, ThreadCountDoesNotChangeResults) {
+  const auto a = run_replications(tiny(), 4, 1);
+  const auto b = run_replications(tiny(), 4, 2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].events, b[i].events);
+    EXPECT_DOUBLE_EQ(a[i].mean_latency_s, b[i].mean_latency_s);
+  }
+}
+
+TEST(Replication, CiOfExtractsField) {
+  const auto rs = run_replications(tiny(), 4, 1);
+  const auto ci = ci_of(rs, [](const Metrics& m) { return m.hit_ratio; });
+  EXPECT_EQ(ci.n, 4u);
+  EXPECT_GE(ci.mean, 0.0);
+  EXPECT_LE(ci.mean, 1.0);
+  EXPECT_GE(ci.half_width, 0.0);
+}
+
+TEST(Replication, MeanOfAveragesFields) {
+  const auto rs = run_replications(tiny(), 3, 1);
+  const Metrics m = mean_of(rs);
+  double lat = 0.0;
+  for (const auto& r : rs) lat += r.mean_latency_s;
+  EXPECT_NEAR(m.mean_latency_s, lat / 3.0, 1e-12);
+  EXPECT_EQ(m.stale_serves, 0u);
+}
+
+TEST(Replication, MeanOfEmptyIsDefault) {
+  const Metrics m = mean_of({});
+  EXPECT_EQ(m.answered, 0u);
+}
+
+}  // namespace
+}  // namespace wdc

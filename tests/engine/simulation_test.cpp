@@ -1,0 +1,109 @@
+#include "engine/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace wdc {
+namespace {
+
+Scenario small(ProtocolKind kind = ProtocolKind::kTs, std::uint64_t seed = 7) {
+  Scenario s;
+  s.protocol = kind;
+  s.seed = seed;
+  s.num_clients = 10;
+  s.db.num_items = 200;
+  s.sim_time_s = 600.0;
+  s.warmup_s = 100.0;
+  return s;
+}
+
+TEST(Simulation, RunsAndServesQueries) {
+  const Metrics m = run_scenario(small());
+  EXPECT_GT(m.queries, 100u);
+  EXPECT_GT(m.answered, 100u);
+  EXPECT_EQ(m.hits + m.misses, m.answered);
+  EXPECT_EQ(m.stale_serves, 0u);
+  EXPECT_GT(m.events, 1000u);
+}
+
+TEST(Simulation, SameSeedIsBitReproducible) {
+  const Metrics a = run_scenario(small(ProtocolKind::kHyb, 42));
+  const Metrics b = run_scenario(small(ProtocolKind::kHyb, 42));
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.answered, b.answered);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.reports_missed, b.reports_missed);
+}
+
+TEST(Simulation, DifferentSeedsDiffer) {
+  const Metrics a = run_scenario(small(ProtocolKind::kTs, 1));
+  const Metrics b = run_scenario(small(ProtocolKind::kTs, 2));
+  EXPECT_NE(a.events, b.events);
+}
+
+TEST(Simulation, RunTwiceThrows) {
+  Simulation sim(small());
+  (void)sim.run();
+  EXPECT_THROW(sim.run(), std::logic_error);
+}
+
+TEST(Simulation, IncrementalRunMatchesCollect) {
+  Simulation sim(small());
+  sim.run_until(300.0);
+  const Metrics mid = sim.collect();
+  sim.run_until(600.0);
+  const Metrics end = sim.collect();
+  EXPECT_LT(mid.queries, end.queries);
+  EXPECT_DOUBLE_EQ(mid.sim_time_s, 300.0);
+  EXPECT_DOUBLE_EQ(end.sim_time_s, 600.0);
+}
+
+TEST(Simulation, AccessorsExposeComponents) {
+  Simulation sim(small());
+  EXPECT_EQ(sim.num_clients(), 10u);
+  EXPECT_EQ(sim.database().num_items(), 200u);
+  EXPECT_EQ(sim.client(0).id(), 0u);
+  EXPECT_EQ(sim.client(9).id(), 9u);
+  EXPECT_THROW(sim.client(10), std::out_of_range);
+}
+
+TEST(Simulation, WarmupExcludesEarlyQueries) {
+  Scenario s = small();
+  Scenario s2 = s;
+  s2.warmup_s = 500.0;
+  const Metrics full = run_scenario(s);
+  const Metrics late = run_scenario(s2);
+  EXPECT_GT(full.queries, late.queries);
+}
+
+TEST(Simulation, PathLossAssignmentRuns) {
+  Scenario s = small();
+  s.snr_assignment = SnrAssignment::kPathLoss;
+  s.tx_power_dbm = 30.0;
+  const Metrics m = run_scenario(s);
+  EXPECT_GT(m.answered, 0u);
+  EXPECT_EQ(m.stale_serves, 0u);
+}
+
+TEST(Simulation, FixedMcsModeRuns) {
+  Scenario s = small();
+  s.mac.amc.adaptive = false;
+  s.mac.amc.fixed_mcs = 2;
+  const Metrics m = run_scenario(s);
+  EXPECT_GT(m.answered, 0u);
+  EXPECT_NEAR(m.mean_broadcast_mcs, 2.0, 1e-9);
+}
+
+TEST(Simulation, MetricsPrintProducesOutput) {
+  const Metrics m = run_scenario(small());
+  std::ostringstream os;
+  m.print(os);
+  EXPECT_NE(os.str().find("hit ratio"), std::string::npos);
+  EXPECT_NE(os.str().find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdc

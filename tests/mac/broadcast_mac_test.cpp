@@ -1,0 +1,221 @@
+#include "mac/broadcast_mac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wdc {
+namespace {
+
+/// Harness: a MAC with N fixed-SNR clients and simple recording listeners.
+class MacTest : public ::testing::Test {
+ protected:
+  struct ClientRec {
+    std::vector<Message> decoded;
+    int heard = 0;
+    bool listening = true;
+  };
+
+  MacTest() : table_(McsTable::simple3()) {}
+
+  void build(MacConfig cfg, std::vector<double> snrs) {
+    mac_ = std::make_unique<BroadcastMac>(sim_, table_, cfg, Rng(9));
+    recs_.resize(snrs.size());
+    for (std::size_t i = 0; i < snrs.size(); ++i) {
+      links_.push_back(std::make_unique<FixedSnr>(snrs[i]));
+      ClientRec* rec = &recs_[i];
+      ClientPort port;
+      port.link = links_.back().get();
+      port.is_listening = [rec] { return rec->listening; };
+      port.on_reception = [rec](const Reception& rx) {
+        ++rec->heard;
+        if (rx.decoded) rec->decoded.push_back(rx.msg);
+      };
+      mac_->register_client(std::move(port));
+    }
+  }
+
+  static Message broadcast_msg(MsgKind kind, Bits bits) {
+    Message m;
+    m.kind = kind;
+    m.bits = bits;
+    return m;
+  }
+
+  Simulator sim_;
+  McsTable table_;
+  std::unique_ptr<BroadcastMac> mac_;
+  std::vector<std::unique_ptr<FixedSnr>> links_;
+  std::vector<ClientRec> recs_;
+};
+
+TEST_F(MacTest, RejectsIncompletePort) {
+  build({}, {20.0});
+  EXPECT_THROW(mac_->register_client(ClientPort{}), std::invalid_argument);
+}
+
+TEST_F(MacTest, BroadcastReachesAllListeners) {
+  build({}, {30.0, 30.0, 30.0});
+  mac_->enqueue(broadcast_msg(MsgKind::kInvalidationReport, 1000));
+  sim_.run_until(10.0);
+  for (const auto& rec : recs_) {
+    EXPECT_EQ(rec.heard, 1);
+    ASSERT_EQ(rec.decoded.size(), 1u);
+    EXPECT_EQ(rec.decoded[0].kind, MsgKind::kInvalidationReport);
+  }
+}
+
+TEST_F(MacTest, SleepingClientHearsNothing) {
+  build({}, {30.0, 30.0});
+  recs_[1].listening = false;
+  mac_->enqueue(broadcast_msg(MsgKind::kItemData, 1000));
+  sim_.run_until(10.0);
+  EXPECT_EQ(recs_[0].heard, 1);
+  EXPECT_EQ(recs_[1].heard, 0);
+}
+
+TEST_F(MacTest, StrictPriorityOrder) {
+  build({}, {30.0});
+  // Fill the queue while the channel is busy with a data frame, then check
+  // service order: IR, mini, item, data.
+  mac_->enqueue(broadcast_msg(MsgKind::kDownlinkData, 50000));  // occupies channel
+  mac_->enqueue(broadcast_msg(MsgKind::kDownlinkData, 100));
+  mac_->enqueue(broadcast_msg(MsgKind::kItemData, 100));
+  mac_->enqueue(broadcast_msg(MsgKind::kMiniReport, 100));
+  mac_->enqueue(broadcast_msg(MsgKind::kInvalidationReport, 100));
+  sim_.run_until(100.0);
+  ASSERT_EQ(recs_[0].decoded.size(), 5u);
+  EXPECT_EQ(recs_[0].decoded[1].kind, MsgKind::kInvalidationReport);
+  EXPECT_EQ(recs_[0].decoded[2].kind, MsgKind::kMiniReport);
+  EXPECT_EQ(recs_[0].decoded[3].kind, MsgKind::kItemData);
+  EXPECT_EQ(recs_[0].decoded[4].kind, MsgKind::kDownlinkData);
+}
+
+TEST_F(MacTest, FifoWithinClass) {
+  build({}, {30.0});
+  mac_->enqueue(broadcast_msg(MsgKind::kDownlinkData, 50000));
+  Message a = broadcast_msg(MsgKind::kItemData, 100);
+  a.item = 1;
+  Message b = broadcast_msg(MsgKind::kItemData, 100);
+  b.item = 2;
+  mac_->enqueue(a);
+  mac_->enqueue(b);
+  sim_.run_until(100.0);
+  ASSERT_EQ(recs_[0].decoded.size(), 3u);
+  EXPECT_EQ(recs_[0].decoded[1].item, 1u);
+  EXPECT_EQ(recs_[0].decoded[2].item, 2u);
+}
+
+TEST_F(MacTest, AirtimeAccounting) {
+  MacConfig cfg;
+  cfg.amc.adaptive = false;
+  cfg.amc.fixed_mcs = 0;  // 10 kb/s in simple3
+  build(cfg, {30.0});
+  mac_->enqueue(broadcast_msg(MsgKind::kItemData, 10000));  // 1 s + preamble
+  sim_.run_until(100.0);
+  const auto& st = mac_->stats(MsgKind::kItemData);
+  EXPECT_EQ(st.transmitted, 1u);
+  EXPECT_NEAR(st.airtime_s, 1.0 + table_.preamble_s(), 1e-9);
+  EXPECT_EQ(st.bits, 10000u);
+}
+
+TEST_F(MacTest, BusyFractionMatchesLoad) {
+  MacConfig cfg;
+  cfg.amc.adaptive = false;
+  cfg.amc.fixed_mcs = 0;
+  build(cfg, {30.0});
+  mac_->enqueue(broadcast_msg(MsgKind::kItemData, 10000));
+  sim_.run_until(10.0);
+  EXPECT_NEAR(mac_->busy_fraction(10.0), (1.0 + table_.preamble_s()) / 10.0, 1e-6);
+}
+
+TEST_F(MacTest, LinkAdaptationUsesDestinationSnr) {
+  MacConfig cfg;
+  cfg.amc.hysteresis_db = 0.0;
+  cfg.amc.csi_delay_s = 0.0;
+  build(cfg, {30.0, -5.0});
+  // Unicast to the strong client: fast scheme, short airtime.
+  Message fast = broadcast_msg(MsgKind::kDownlinkData, 10000);
+  fast.dest = 0;
+  mac_->enqueue(fast);
+  sim_.run_until(100.0);
+  const double strong_airtime = mac_->stats(MsgKind::kDownlinkData).airtime_s;
+  // Unicast to the weak client: robust scheme, much longer airtime.
+  Message slow = broadcast_msg(MsgKind::kDownlinkData, 10000);
+  slow.dest = 1;
+  mac_->enqueue(slow);
+  sim_.run_until(200.0);
+  const double weak_airtime =
+      mac_->stats(MsgKind::kDownlinkData).airtime_s - strong_airtime;
+  EXPECT_GT(weak_airtime, 2.0 * strong_airtime);
+}
+
+TEST_F(MacTest, UnicastRetriesOnFailureThenDrops) {
+  MacConfig cfg;
+  cfg.amc.adaptive = false;
+  cfg.amc.fixed_mcs = 2;  // 100 kb/s needs ~20 dB; dest at −20 dB always fails
+  cfg.max_retx = 3;
+  build(cfg, {-20.0});
+  Message m = broadcast_msg(MsgKind::kDownlinkData, 1000);
+  m.dest = 0;
+  mac_->enqueue(m);
+  sim_.run_until(100.0);
+  const auto& st = mac_->stats(MsgKind::kDownlinkData);
+  EXPECT_EQ(st.transmitted, 3u);  // initial + 2 retries
+  EXPECT_EQ(st.dropped, 1u);
+}
+
+TEST_F(MacTest, BroadcastNeverRetries) {
+  MacConfig cfg;
+  cfg.amc.adaptive = false;
+  cfg.amc.fixed_mcs = 2;
+  build(cfg, {-20.0});
+  mac_->enqueue(broadcast_msg(MsgKind::kInvalidationReport, 1000));
+  sim_.run_until(100.0);
+  EXPECT_EQ(mac_->stats(MsgKind::kInvalidationReport).transmitted, 1u);
+  EXPECT_TRUE(recs_[0].decoded.empty());
+  EXPECT_EQ(recs_[0].heard, 1);  // offered but not decoded
+}
+
+TEST_F(MacTest, BroadcastReferencePercentile) {
+  MacConfig cfg;
+  cfg.broadcast_percentile = 0.0;  // minimum over listeners
+  build(cfg, {5.0, 15.0, 25.0});
+  EXPECT_NEAR(mac_->broadcast_reference_snr(0.0), 5.0, 1e-9);
+  recs_[0].listening = false;  // weakest asleep: reference moves up
+  EXPECT_NEAR(mac_->broadcast_reference_snr(0.0), 15.0, 1e-9);
+}
+
+TEST_F(MacTest, BroadcastReferenceInterpolates) {
+  MacConfig cfg;
+  cfg.broadcast_percentile = 0.5;
+  build(cfg, {0.0, 10.0});
+  EXPECT_NEAR(mac_->broadcast_reference_snr(0.0), 5.0, 1e-9);
+}
+
+TEST_F(MacTest, TxObserverSeesEveryTransmission) {
+  build({}, {30.0});
+  int seen = 0;
+  mac_->set_tx_observer(
+      [&](const Message&, std::size_t, double) { ++seen; });
+  mac_->enqueue(broadcast_msg(MsgKind::kItemData, 100));
+  mac_->enqueue(broadcast_msg(MsgKind::kDownlinkData, 100));
+  sim_.run_until(100.0);
+  EXPECT_EQ(seen, 2);
+}
+
+TEST_F(MacTest, QueueDelayMeasuredFromEnqueue) {
+  MacConfig cfg;
+  cfg.amc.adaptive = false;
+  cfg.amc.fixed_mcs = 0;
+  build(cfg, {30.0});
+  mac_->enqueue(broadcast_msg(MsgKind::kItemData, 10000));  // ~1s service
+  mac_->enqueue(broadcast_msg(MsgKind::kItemData, 100));    // waits ~1s
+  sim_.run_until(100.0);
+  const auto& st = mac_->stats(MsgKind::kItemData);
+  EXPECT_EQ(st.queue_delay.count(), 2u);
+  EXPECT_NEAR(st.queue_delay.max(), 1.0 + table_.preamble_s(), 1e-6);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,72 @@
+#include "mac/uplink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wdc {
+namespace {
+
+TEST(Uplink, DeliversAfterBaseDelay) {
+  Simulator sim;
+  UplinkConfig cfg;
+  cfg.base_delay_s = 0.1;
+  cfg.jitter_mean_s = 0.0;
+  UplinkChannel up(sim, cfg, Rng(1));
+  double delivered_at = -1.0;
+  up.send(0, 100, [&] { delivered_at = sim.now(); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(delivered_at, 0.1);
+}
+
+TEST(Uplink, CountsRequestsAndBits) {
+  Simulator sim;
+  UplinkChannel up(sim, {}, Rng(2));
+  up.send(1, 100, [] {});
+  up.send(2, 200, [] {});
+  EXPECT_EQ(up.requests(), 2u);
+  EXPECT_EQ(up.bits_sent(), 300u);
+}
+
+TEST(Uplink, InFlightTracksOutstanding) {
+  Simulator sim;
+  UplinkConfig cfg;
+  cfg.base_delay_s = 1.0;
+  cfg.jitter_mean_s = 0.0;
+  UplinkChannel up(sim, cfg, Rng(3));
+  up.send(0, 100, [] {});
+  up.send(0, 100, [] {});
+  EXPECT_EQ(up.in_flight(), 2u);
+  sim.run_until(5.0);
+  EXPECT_EQ(up.in_flight(), 0u);
+}
+
+TEST(Uplink, JitterGrowsWithContention) {
+  // With many requests in flight, mean delay grows.
+  Simulator sim;
+  UplinkConfig cfg;
+  cfg.base_delay_s = 0.05;
+  cfg.jitter_mean_s = 0.02;
+  UplinkChannel up(sim, cfg, Rng(4));
+  for (int i = 0; i < 100; ++i) up.send(0, 100, [] {});
+  sim.run_until(100.0);
+  // Mean sampled delay across a burst of 100 must clearly exceed the base.
+  EXPECT_GT(up.delay().mean(), 0.1);
+  EXPECT_GE(up.delay().min(), 0.05);
+}
+
+TEST(Uplink, DeliveryOrderNotNecessarilyFifoUnderJitter) {
+  Simulator sim;
+  UplinkConfig cfg;
+  cfg.base_delay_s = 0.01;
+  cfg.jitter_mean_s = 0.5;
+  UplinkChannel up(sim, cfg, Rng(5));
+  std::vector<int> order;
+  for (int i = 0; i < 20; ++i) up.send(0, 10, [&order, i] { order.push_back(i); });
+  sim.run_until(100.0);
+  ASSERT_EQ(order.size(), 20u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()));
+}
+
+}  // namespace
+}  // namespace wdc

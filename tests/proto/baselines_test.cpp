@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+#include "proto/baselines.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(NcSemantics, FetchesImmediatelyWithoutReports) {
+  ProtoHarness h(ProtocolKind::kNc);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  // No reports exist; the answer arrives at uplink + broadcast timescales.
+  EXPECT_EQ(h.server_->reports_sent(), 0u);
+  EXPECT_EQ(h.sink_->answered(), 1u);
+  EXPECT_EQ(h.sink_->misses(), 1u);
+  EXPECT_LT(h.sink_->miss_latency().mean(), 1.0);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(NcSemantics, NeverCachesNeverHits) {
+  ProtoHarness h(ProtocolKind::kNc);
+  for (int i = 0; i < 5; ++i) {
+    h.sim_.run_until(1.0 + 5.0 * i);
+    h.clients_[0]->on_query(7);
+  }
+  h.sim_.run_until(40.0);
+  EXPECT_EQ(h.sink_->hits(), 0u);
+  EXPECT_EQ(h.sink_->misses(), 5u);
+  EXPECT_EQ(h.clients_[0]->cache().size(), 0u);
+  EXPECT_EQ(h.uplink_->requests(), 5u);
+}
+
+TEST(NcSemantics, ConcurrentQueriesShareOneFetch) {
+  ProtoHarness h(ProtocolKind::kNc);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.clients_[0]->on_query(5);  // same instant, same item
+  h.sim_.run_until(5.0);
+  EXPECT_EQ(h.sink_->answered(), 2u);
+  EXPECT_EQ(h.uplink_->requests(), 1u);
+}
+
+TEST(PerSemantics, FirstQueryMissesThenPollsValidate) {
+  ProtoHarness h(ProtocolKind::kPer);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);  // fetched & cached
+  EXPECT_EQ(h.sink_->misses(), 1u);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(5.0);
+  // Validated by a poll round trip: a hit at sub-second latency.
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_LT(h.sink_->hit_latency().mean(), 1.0);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  auto* server = dynamic_cast<ServerPer*>(h.server_.get());
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->polls(), 1u);
+  EXPECT_EQ(server->poll_hits(), 1u);
+}
+
+TEST(PerSemantics, StaleCopyDetectedAndRefetched) {
+  ProtoHarness h(ProtocolKind::kPer);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  h.db_->apply_update(5);  // cached copy is now old
+  h.sim_.run_until(4.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(8.0);
+  // The poll comes back invalid; the pushed item answers the query as a miss.
+  EXPECT_EQ(h.sink_->hits(), 0u);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  auto* server = dynamic_cast<ServerPer*>(h.server_.get());
+  EXPECT_EQ(server->polls(), 1u);
+  EXPECT_EQ(server->poll_hits(), 0u);
+}
+
+TEST(PerSemantics, EveryReadCostsAnUplinkMessage) {
+  ProtoHarness h(ProtocolKind::kPer);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  for (int i = 0; i < 4; ++i) {
+    h.clients_[0]->on_query(5);
+    h.sim_.run_until(4.0 + i);
+  }
+  h.sim_.run_until(12.0);
+  // 1 fetch + 4 polls = 5 uplink messages for 5 reads.
+  EXPECT_EQ(h.uplink_->requests(), 5u);
+  EXPECT_EQ(h.sink_->hits(), 4u);
+}
+
+TEST(PerSemantics, ConcurrentReadsShareOnePoll) {
+  ProtoHarness h(ProtocolKind::kPer);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  h.clients_[0]->on_query(5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(6.0);
+  EXPECT_EQ(h.sink_->hits(), 2u);
+  auto* server = dynamic_cast<ServerPer*>(h.server_.get());
+  EXPECT_EQ(server->polls(), 1u);
+}
+
+TEST(PerSemantics, SleepDropsOutstandingPolls) {
+  ProtoHarness h(ProtocolKind::kPer);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  h.clients_[0]->on_query(5);  // poll goes out
+  h.set_awake(0, false);       // sleep before the ack returns
+  h.sim_.run_until(6.0);
+  EXPECT_EQ(h.sink_->dropped(), 1u);
+  h.set_awake(0, true);
+  // A later read re-polls normally (no stuck in-flight state).
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(10.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+#include "mac/broadcast_mac.hpp"
+
+namespace wdc {
+namespace {
+
+ProtoConfig bs_cfg(unsigned levels = 4) {
+  ProtoConfig cfg = ProtoHarness::default_proto();  // L = 10
+  cfg.bs_levels = levels;                           // windows 10,20,40,80
+  return cfg;
+}
+
+TEST(BsSemantics, BasicHitAndInvalidateLikeTs) {
+  ProtoHarness h(ProtocolKind::kBs, 2, 50.0, bs_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(BsSemantics, TrueUpdateInvalidates) {
+  ProtoHarness h(ProtocolKind::kBs, 2, 50.0, bs_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(25.0);
+  h.db_->apply_update(5);
+  h.sim_.run_until(26.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(BsSemantics, SurvivesSleepBeyondTsWindowWithinOldestWindow) {
+  // Sleep ≈ 45 s: beyond TS's w·L = 30 but inside BS's oldest window (80 s).
+  ProtoHarness h(ProtocolKind::kBs, 2, 50.0, bs_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(15.0);
+  h.set_awake(0, false);
+  h.sim_.run_until(59.0);
+  h.set_awake(0, true);
+  h.sim_.run_until(61.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(75.0);
+  EXPECT_EQ(h.sink_->cache_drops(), 0u);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(BsSemantics, DropsBeyondOldestWindow) {
+  ProtoHarness h(ProtocolKind::kBs, 2, 50.0, bs_cfg(3));  // oldest window 40 s
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(15.0);
+  h.set_awake(0, false);
+  h.sim_.run_until(65.0);  // gap ≈ 50 s > 40 s
+  h.set_awake(0, true);
+  h.sim_.run_until(71.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(85.0);
+  EXPECT_GE(h.sink_->cache_drops(), 1u);
+  EXPECT_EQ(h.sink_->hits(), 0u);
+}
+
+TEST(BsSemantics, GranularityOverInvalidates) {
+  // Fetch and update land in the SAME dyadic interval: exact timestamps (TS)
+  // would keep the copy (fetch follows the update); BS must drop it.
+  ProtoHarness h(ProtocolKind::kBs, 2, 50.0, bs_cfg());
+  h.sim_.run_until(12.0);
+  h.db_->apply_update(5);  // update at t=12
+  h.sim_.run_until(13.0);
+  h.clients_[0]->on_query(5);   // decided at t=20 report; fetched ~20.1 (> update)
+  h.sim_.run_until(25.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(55.0);
+  // Reports at 30 and 40 quantise the t=12 update into intervals topping out at
+  // 20 < fetch (~20.1): the copy survives (and the t=25 query hits). The t=50
+  // report coarsens the interval to (10, 30]: top 30 exceeds the fetch time ⇒
+  // conservatively invalidated although the copy contains the update — the
+  // granularity over-invalidation TS's exact timestamps avoid.
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_GE(h.sink_->false_invalidations(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(BsSemantics, FixedReportCost) {
+  ProtoHarness h(ProtocolKind::kBs, 2, 50.0, bs_cfg());
+  h.sim_.run_until(15.0);
+  const Bits one = h.mac_->stats(MsgKind::kInvalidationReport).bits;
+  for (ItemId i = 0; i < 40; ++i) h.db_->apply_update(i);
+  h.sim_.run_until(25.0);
+  EXPECT_EQ(h.mac_->stats(MsgKind::kInvalidationReport).bits, 2 * one);
+  // ≈ 2 bits per item: 100 items ⇒ 200 bits + header + boundary stamps.
+  EXPECT_EQ(one, 128u + 4u * 32u + 200u);
+}
+
+}  // namespace
+}  // namespace wdc

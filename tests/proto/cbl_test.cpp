@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+#include "proto/cbl.hpp"
+
+namespace wdc {
+namespace {
+
+ProtoConfig cbl_cfg(double lease_s = 60.0) {
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.cbl_lease_s = lease_s;
+  return cfg;
+}
+
+TEST(CblSemantics, LeasedReadAnswersInstantly) {
+  ProtoHarness h(ProtocolKind::kCbl, 2, 50.0, cbl_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);  // fetched + leased
+  EXPECT_EQ(h.sink_->misses(), 1u);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.5);
+  // Zero-wait: answered at the query instant.
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_DOUBLE_EQ(h.sink_->hit_latency().mean(), 0.0);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(CblSemantics, NoReportsEverBroadcast) {
+  ProtoHarness h(ProtocolKind::kCbl, 2, 50.0, cbl_cfg());
+  h.sim_.run_until(50.0);
+  EXPECT_EQ(h.server_->reports_sent(), 0u);
+}
+
+TEST(CblSemantics, UpdateTriggersNoticeAndRevocation) {
+  ProtoHarness h(ProtocolKind::kCbl, 2, 50.0, cbl_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  auto* client = dynamic_cast<ClientCbl*>(h.clients_[0].get());
+  ASSERT_NE(client, nullptr);
+  EXPECT_TRUE(client->holds_lease(5));
+  h.db_->apply_update(5);
+  h.sim_.run_until(4.0);  // notice delivered
+  auto* server = dynamic_cast<ServerCbl*>(h.server_.get());
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(server->notices_sent(), 1u);
+  EXPECT_FALSE(client->holds_lease(5));
+  // The revoked read refetches — and is never stale.
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(6.0);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(CblSemantics, LeaseExpiryForcesRefetch) {
+  ProtoHarness h(ProtocolKind::kCbl, 2, 50.0, cbl_cfg(5.0));  // 5 s leases
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(10.0);  // lease (granted ~1.1) long expired
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(12.0);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->hits(), 0u);
+}
+
+TEST(CblSemantics, SleepVoidsLeases) {
+  ProtoHarness h(ProtocolKind::kCbl, 2, 50.0, cbl_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  h.set_awake(0, false);
+  h.sim_.run_until(4.0);
+  h.set_awake(0, true);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(6.0);
+  // No lease after the nap ⇒ refetch, even though nothing changed.
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(CblSemantics, InFlightNoticeWindowProducesMeasurableStaleness) {
+  // The callback promise has a hole: between an update committing and its
+  // notice reaching the client, a leased read returns the old version. Force
+  // the window open by queueing the notice behind a long transmission.
+  ProtoHarness h(ProtocolKind::kCbl, 2, 50.0, cbl_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(3.0);
+  Message blocker;
+  blocker.kind = MsgKind::kDownlinkData;
+  blocker.bits = 200000;
+  h.mac_->enqueue(std::move(blocker));
+  h.db_->apply_update(5);      // notice enqueued behind the blocker
+  h.clients_[0]->on_query(5);  // read during the in-flight window
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 1u);  // the oracle catches it
+}
+
+TEST(CblSemantics, ServerLeaseTableTracksState) {
+  ProtoHarness h(ProtocolKind::kCbl, 2, 50.0, cbl_cfg());
+  auto* server = dynamic_cast<ServerCbl*>(h.server_.get());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.clients_[1]->on_query(7);
+  h.sim_.run_until(3.0);
+  EXPECT_EQ(server->outstanding_leases(), 2u);
+  EXPECT_EQ(server->peak_leases(), 2u);
+  h.db_->apply_update(5);  // revokes client 0's lease
+  h.sim_.run_until(4.0);
+  EXPECT_EQ(server->outstanding_leases(), 1u);
+}
+
+}  // namespace
+}  // namespace wdc

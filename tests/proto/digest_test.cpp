@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+#include "proto/hyb.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace wdc {
+namespace {
+
+// PIG: piggyback digests on downlink frames. The harness drives downlink frames
+// by calling server->on_downlink_frame() directly.
+
+TEST(PigSemantics, DigestInvalidatesAndAnswersBetweenReports) {
+  ProtoHarness h(ProtocolKind::kPig);  // reports at 10, 20, 30 …
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(12.0);   // item 5 cached around t=10
+  h.db_->apply_update(5);   // t=12
+  h.sim_.run_until(13.0);
+  h.clients_[0]->on_query(5);  // pending; without PIG waits for the t=20 report
+  h.sim_.run_until(14.0);
+  h.server_->on_downlink_frame(TrafficFrame{1, 4000});  // digest rides along
+  h.sim_.run_until(16.0);
+  // The digest at ~14 lists item 5 ⇒ invalidated ⇒ the query was decided as a
+  // miss *before* the t=20 report (item refetched by ~14.5).
+  EXPECT_EQ(h.sink_->answered(), 2u);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_GE(h.sink_->digests_applied(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  EXPECT_LT(h.sink_->miss_latency().min(), 3.0);
+}
+
+TEST(PigSemantics, DigestAnswersCleanHitEarly) {
+  ProtoHarness h(ProtocolKind::kPig);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(12.0);  // cached
+  h.clients_[0]->on_query(5);  // would wait until t=20
+  h.sim_.run_until(13.0);
+  h.server_->on_downlink_frame(TrafficFrame{1, 4000});
+  h.sim_.run_until(15.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_GE(h.sink_->digest_answers(), 1u);
+  // Answered at the ~13.1 digest, not the t=20 report.
+  EXPECT_LT(h.sink_->hit_latency().mean(), 2.0);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(PigSemantics, IncompleteDigestOnlyInvalidates) {
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.pig_max_ids = 2;  // tiny capacity forces truncation
+  ProtoHarness h(ProtocolKind::kPig, 2, 50.0, cfg);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(12.0);
+  for (ItemId i = 20; i < 25; ++i) h.db_->apply_update(i);  // 5 updates > cap
+  h.sim_.run_until(13.0);
+  h.clients_[0]->on_query(5);
+  const auto digests_before = h.sink_->digests_applied();
+  h.sim_.run_until(14.0);
+  h.server_->on_downlink_frame(TrafficFrame{1, 4000});
+  h.sim_.run_until(18.0);
+  // Digest incomplete ⇒ no consistency-point advance ⇒ query still pending.
+  EXPECT_EQ(h.sink_->digests_applied(), digests_before);
+  EXPECT_EQ(h.sink_->answered(), 1u);  // only the first (t=10) answer
+  h.sim_.run_until(25.0);              // the t=20 report resolves it
+  EXPECT_EQ(h.sink_->answered(), 2u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(PigSemantics, DigestRidesOnItemBroadcastsToo) {
+  ProtoHarness h(ProtocolKind::kPig);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(13.0);      // item 5 cached by client 0 around t=10
+  h.clients_[0]->on_query(5);  // pending; the next report is only at t=20
+  h.sim_.run_until(14.0);
+  // A request lands at the server (client 1, different item): the item
+  // broadcast it triggers carries a digest that client 0 overhears.
+  h.server_->on_request(1, 7);
+  h.sim_.run_until(16.0);
+  // Two digest-bearing item broadcasts so far: item 5 (t≈10.2) and item 7 (~14.2).
+  EXPECT_EQ(h.server_->digest_frames(), 2u);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_GE(h.sink_->digest_answers(), 1u);
+  // Answered at the ~14.2 item broadcast, not the t=20 report.
+  EXPECT_LT(h.sink_->hit_latency().mean(), 3.0);
+}
+
+TEST(HybSemantics, AdaptiveMCollapsesUnderDigestTraffic) {
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.hyb_target_gap_s = 2.0;  // wants 5 points per interval
+  ProtoHarness h(ProtocolKind::kHyb, 2, 50.0, cfg);
+  // Interval 1 (10→20): no traffic ⇒ m adapts to needed minis (m > 1).
+  h.sim_.run_until(20.5);
+  const auto minis_no_traffic = h.server_->minis_sent();
+  // Interval 2 (20→30): plenty of digest-bearing frames ⇒ the m chosen at the
+  // t=30 full report collapses to 1.
+  for (int i = 0; i < 10; ++i) {
+    h.sim_.run_until(21.0 + i);
+    h.server_->on_downlink_frame(TrafficFrame{1, 4000});
+  }
+  h.sim_.run_until(30.5);
+  const auto* hyb = dynamic_cast<const ServerHyb*>(h.server_.get());
+  ASSERT_NE(hyb, nullptr);
+  EXPECT_EQ(hyb->current_m(), 1u);
+  EXPECT_GT(minis_no_traffic, 0u);
+  // Interval 4 (40→50): traffic gone ⇒ m grows back.
+  h.sim_.run_until(50.5);
+  EXPECT_GT(hyb->current_m(), 1u);
+}
+
+TEST(HybSemantics, MiniAndDigestBothWork) {
+  ProtoHarness h(ProtocolKind::kHyb);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(25.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  // Minis exist (no traffic ⇒ m > 1) and shorten the wait below the full-report
+  // bound of ≈ 10 s.
+  EXPECT_GT(h.server_->minis_sent(), 0u);
+  EXPECT_LT(h.sink_->hit_latency().mean(), 6.0);
+}
+
+}  // namespace
+}  // namespace wdc

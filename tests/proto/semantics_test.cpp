@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace wdc {
+namespace {
+
+// Reports fire at t = 10, 20, 30, … (L = 10). The channel is ideal, so every
+// transmission decodes and timings are predictable to within MAC airtime.
+
+TEST(TsSemantics, FirstQueryIsMissDecidedAtNextReport) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(25.0);
+  EXPECT_EQ(h.sink_->queries(), 1u);
+  EXPECT_EQ(h.sink_->answered(), 1u);
+  EXPECT_EQ(h.sink_->misses(), 1u);
+  EXPECT_EQ(h.sink_->hits(), 0u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  // Query at 1, decided at the t=10 report, item arrives shortly after.
+  EXPECT_GT(h.sink_->miss_latency().mean(), 9.0);
+  EXPECT_LT(h.sink_->miss_latency().mean(), 11.0);
+  EXPECT_EQ(h.uplink_->requests(), 1u);
+}
+
+TEST(TsSemantics, RepeatQueryHitsFromCache) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->answered(), 2u);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->misses(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  // Hit waits from 30.5 to the t=40 report: ≈ 9.5 s.
+  EXPECT_NEAR(h.sink_->hit_latency().mean(), 9.5, 0.5);
+}
+
+TEST(TsSemantics, UpdateInvalidatesCachedCopy) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(25.0);  // item cached around t=10
+  h.db_->apply_update(5);  // update at t=25
+  h.sim_.run_until(26.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  // The t=30 report lists item 5 (updated at 25 > fetch ~10) ⇒ miss + refetch.
+  EXPECT_EQ(h.sink_->answered(), 2u);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->hits(), 0u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  EXPECT_EQ(h.uplink_->requests(), 2u);
+}
+
+TEST(TsSemantics, UpdateToOtherItemDoesNotInvalidate) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(25.0);
+  h.db_->apply_update(6);  // different item
+  h.sim_.run_until(26.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+}
+
+TEST(TsSemantics, SurvivesShortDisconnectionWithinWindow) {
+  ProtoHarness h(ProtocolKind::kTs);  // window = 3·L = 30
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(15.0);  // cached at ~10
+  h.set_awake(0, false);   // miss the t=20 report only
+  h.sim_.run_until(25.0);
+  h.set_awake(0, true);
+  h.sim_.run_until(31.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  // Reconnected within the window ⇒ cache retained ⇒ hit at t=40.
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->cache_drops(), 0u);
+}
+
+TEST(TsSemantics, DropsCacheAfterLongDisconnection) {
+  ProtoHarness h(ProtocolKind::kTs);  // window = 30
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(15.0);
+  h.set_awake(0, false);  // sleep 15 → 55: last applied report t=10; gap > 30
+  h.sim_.run_until(55.0);
+  h.set_awake(0, true);
+  h.sim_.run_until(61.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(75.0);
+  EXPECT_EQ(h.sink_->cache_drops(), 1u);
+  EXPECT_EQ(h.sink_->hits(), 0u);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(AtSemantics, DropsCacheWhenSingleReportMissed) {
+  ProtoHarness h(ProtocolKind::kAt);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(15.0);  // cached at ~10
+  h.set_awake(0, false);   // miss exactly the t=20 report
+  h.sim_.run_until(25.0);
+  h.set_awake(0, true);
+  h.sim_.run_until(31.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  // Amnesic: one missed report ⇒ drop at t=30 ⇒ the second query misses.
+  EXPECT_GE(h.sink_->cache_drops(), 1u);
+  EXPECT_EQ(h.sink_->hits(), 0u);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+}
+
+TEST(AtSemantics, ContinuousListeningBehavesLikeTs) {
+  ProtoHarness h(ProtocolKind::kAt);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->cache_drops(), 0u);
+}
+
+TEST(UirSemantics, MiniReportsAnswerQueriesEarly) {
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.uir_m = 5;  // minis every 2 s
+  ProtoHarness h(ProtocolKind::kUir, 2, 50.0, cfg);
+  h.sim_.run_until(10.5);  // first full report was at t=10
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(20.0);
+  // Decided at the t=12 mini, not the t=20 full report.
+  EXPECT_EQ(h.sink_->answered(), 1u);
+  EXPECT_LT(h.sink_->miss_latency().mean(), 3.0);
+}
+
+TEST(UirSemantics, MiniUselessWithoutAnchor) {
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.uir_m = 5;
+  ProtoHarness h(ProtocolKind::kUir, 2, 50.0, cfg);
+  h.sim_.run_until(10.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(12.5);  // item 5 cached via the t=12 mini decision
+  // Client sleeps through the t=20 full report; wakes for the t=22 mini. The
+  // mini anchors at the t=20 full, which the client never heard ⇒ unusable; the
+  // query waits for the t=30 full report.
+  h.set_awake(0, false);
+  h.sim_.run_until(21.0);
+  h.set_awake(0, true);
+  h.sim_.run_until(21.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(35.0);
+  EXPECT_EQ(h.sink_->answered(), 2u);
+  // Second answer had to wait ≈ 8.5 s (to t=30), not ≈ 0.5 s (to t=22).
+  EXPECT_GT(h.sink_->hit_latency().mean(), 7.0);
+}
+
+TEST(RequestPath, ConcurrentRequestsCoalesce) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.clients_[1]->on_query(5);
+  h.sim_.run_until(25.0);
+  EXPECT_EQ(h.sink_->answered(), 2u);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.uplink_->requests(), 2u);
+  EXPECT_EQ(h.server_->coalesced_requests(), 1u);
+  EXPECT_EQ(h.server_->item_broadcasts(), 1u);
+}
+
+TEST(RequestPath, SnoopedBroadcastServesBothClients) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(25.0);
+  // Client 1 never requested item 5 and must not have it cached (no snooping
+  // into uninterested caches) — its first query for it is a miss.
+  h.clients_[1]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+}
+
+TEST(SleepHandling, PendingQueriesDroppedOnSleep) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.set_awake(0, false);  // sleep before the report decides the query
+  h.sim_.run_until(25.0);
+  EXPECT_EQ(h.sink_->answered(), 0u);
+  EXPECT_EQ(h.sink_->dropped(), 1u);
+}
+
+TEST(LairSemantics, BehavesLikeTsOnIdealChannel) {
+  // On a high-SNR channel the deferral window never triggers: LAIR ≡ TS.
+  ProtoHarness h(ProtocolKind::kLair);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.server_->lair_deferred(), 0u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(LairSemantics, DefersOnBadChannelUpToWindow) {
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.lair_window_s = 2.0;
+  cfg.lair_step_s = 0.5;
+  cfg.lair_min_snr_db = 6.0;
+  // All clients at very low SNR: the channel never becomes "good", so every
+  // report slides to the deadline and is then sent anyway.
+  ProtoHarness h(ProtocolKind::kLair, 2, -5.0, cfg);
+  h.sim_.run_until(35.0);
+  EXPECT_GE(h.server_->lair_deferred(), 3u);
+  EXPECT_GT(h.server_->lair_deferral_s(), 0.0);
+  EXPECT_EQ(h.server_->reports_sent(), 3u);  // 10+2, 20+2, 30+2
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace wdc {
+namespace {
+
+ProtoConfig sig_cfg(double fp) {
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.sig_fp_prob = fp;
+  cfg.sig_window_mult = 10.0;  // signature window = 100 s
+  return cfg;
+}
+
+TEST(SigSemantics, ZeroFpBehavesLikeTs) {
+  ProtoHarness h(ProtocolKind::kSig, 2, 50.0, sig_cfg(0.0));
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->false_invalidations(), 0u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(SigSemantics, CertainFpInvalidatesEverything) {
+  ProtoHarness h(ProtocolKind::kSig, 2, 50.0, sig_cfg(1.0));
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  // The cached entry is false-invalidated at every report ⇒ the repeat query
+  // misses and refetches.
+  EXPECT_EQ(h.sink_->hits(), 0u);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_GE(h.sink_->false_invalidations(), 1u);
+}
+
+TEST(SigSemantics, TrueUpdatesAlwaysDetected) {
+  ProtoHarness h(ProtocolKind::kSig, 2, 50.0, sig_cfg(0.0));
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(25.0);
+  h.db_->apply_update(5);
+  h.sim_.run_until(26.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  EXPECT_EQ(h.sink_->misses(), 2u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(SigSemantics, SurvivesDisconnectionBeyondTsWindow) {
+  // Sleep 35 s: longer than TS's w·L = 30 but within SIG's 100 s window.
+  ProtoHarness h(ProtocolKind::kSig, 2, 50.0, sig_cfg(0.0));
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(15.0);
+  h.set_awake(0, false);
+  h.sim_.run_until(52.0);
+  h.set_awake(0, true);
+  h.sim_.run_until(61.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(75.0);
+  EXPECT_EQ(h.sink_->cache_drops(), 0u);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(SigSemantics, ReportCostIndependentOfUpdateCount) {
+  ProtoHarness h(ProtocolKind::kSig, 2, 50.0, sig_cfg(0.0));
+  h.sim_.run_until(15.0);
+  const Bits after_one = h.mac_->stats(MsgKind::kInvalidationReport).bits;
+  for (ItemId i = 0; i < 50; ++i) h.db_->apply_update(i);
+  h.sim_.run_until(25.0);
+  const Bits after_two = h.mac_->stats(MsgKind::kInvalidationReport).bits;
+  EXPECT_EQ(after_two, 2 * after_one);  // same size despite 50 updates
+}
+
+}  // namespace
+}  // namespace wdc

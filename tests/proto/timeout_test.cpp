@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(RequestTimeout, LostItemBroadcastIsReRequested) {
+  // Fixed MCS-3 (γ50 = 6 dB) with the client at the 15% per-block BLER point:
+  // the tiny report (1 block) almost always decodes, but the 19-block item
+  // broadcast almost never does — the timeout/retry path must converge.
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.request_timeout_s = 3.0;
+  MacConfig mac_cfg;
+  mac_cfg.amc.adaptive = false;
+  mac_cfg.amc.fixed_mcs = 2;  // EDGE MCS-3
+  const double snr = 6.0 + 1.2 * std::log(0.85 / 0.15);  // ≈ 8.1 dB
+  ProtoHarness h(ProtocolKind::kTs, 2, snr, cfg, mac_cfg);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(200.0);
+  // Eventually answered (a ~4.6% per-attempt success compounds over retries),
+  // with retries on the record.
+  EXPECT_EQ(h.sink_->answered(), 1u);
+  EXPECT_GE(h.sink_->request_retries(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(RequestTimeout, NoRetriesOnCleanChannel) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.0);
+  EXPECT_EQ(h.sink_->answered(), 1u);
+  EXPECT_EQ(h.sink_->request_retries(), 0u);
+}
+
+TEST(RequestTimeout, TimerCancelledOnArrival) {
+  // After the item arrives, no spurious retry fires later.
+  ProtoConfig cfg = ProtoHarness::default_proto();
+  cfg.request_timeout_s = 2.0;
+  ProtoHarness h(ProtocolKind::kTs, 2, 50.0, cfg);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(60.0);
+  EXPECT_EQ(h.sink_->request_retries(), 0u);
+  EXPECT_EQ(h.uplink_->requests(), 1u);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace wdc {
+namespace {
+
+ProtoConfig tuned_cfg() {
+  ProtoConfig cfg = ProtoHarness::default_proto();  // L = 10
+  cfg.selective_tuning = true;
+  cfg.tune_guard_s = 0.2;
+  cfg.tune_linger_s = 0.5;
+  return cfg;
+}
+
+TEST(SelectiveTuning, RadioDozesBetweenReports) {
+  ProtoHarness h(ProtocolKind::kTs, 2, 50.0, tuned_cfg());
+  h.sim_.run_until(100.0);
+  // Radio needed ≈ (guard + report rx)/L plus the initial sync period: far
+  // below always-on.
+  const double on = h.clients_[0]->radio_on_time(100.0) / 100.0;
+  EXPECT_LT(on, 0.35);
+  EXPECT_GT(on, 0.01);
+}
+
+TEST(SelectiveTuning, AlwaysOnWithoutTheFlag) {
+  ProtoHarness h(ProtocolKind::kTs);
+  h.sim_.run_until(100.0);
+  EXPECT_DOUBLE_EQ(h.clients_[0]->radio_on_time(100.0), 100.0);
+  EXPECT_TRUE(h.clients_[0]->radio_on());
+}
+
+TEST(SelectiveTuning, StillHearsReportsAndServesQueries) {
+  ProtoHarness h(ProtocolKind::kTs, 2, 50.0, tuned_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(30.5);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(45.0);
+  // Same outcomes as always-on TS: one miss, one hit, consistency intact.
+  EXPECT_EQ(h.sink_->misses(), 1u);
+  EXPECT_EQ(h.sink_->hits(), 1u);
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+  EXPECT_GT(h.sink_->reports_heard(), 2u);
+}
+
+TEST(SelectiveTuning, FetchKeepsRadioOn) {
+  ProtoHarness h(ProtocolKind::kTs, 2, 50.0, tuned_cfg());
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(10.03);  // report applied, miss decided, fetch in flight
+  EXPECT_TRUE(h.clients_[0]->radio_on());
+  h.sim_.run_until(15.0);  // item long since arrived; mid-interval ⇒ dozing
+  EXPECT_FALSE(h.clients_[0]->radio_on());
+}
+
+TEST(SelectiveTuning, MissesDigestsBetweenReports) {
+  // A tuned PIG client is deaf to mid-interval digests: the early-answer
+  // machinery silently degrades to plain TS behaviour.
+  ProtoConfig cfg = tuned_cfg();
+  ProtoHarness h(ProtocolKind::kPig, 2, 50.0, cfg);
+  h.sim_.run_until(1.0);
+  h.clients_[0]->on_query(5);
+  h.sim_.run_until(13.0);      // cached via the t=10 report
+  h.clients_[0]->on_query(5);  // pending
+  h.sim_.run_until(14.0);
+  h.server_->on_downlink_frame(TrafficFrame{1, 4000});  // digest client 0 sleeps through
+  h.sim_.run_until(16.0);
+  EXPECT_EQ(h.sink_->answered(), 1u);  // not answered early
+  h.sim_.run_until(25.0);
+  EXPECT_EQ(h.sink_->answered(), 2u);  // resolved by the t=20 report
+  EXPECT_EQ(h.sink_->stale_serves(), 0u);
+}
+
+TEST(SelectiveTuning, LairSlackExtendsWindow) {
+  // LAIR clients must budget for the deferral window; with reports actually
+  // slid (bad channel) they still catch them.
+  ProtoConfig cfg = tuned_cfg();
+  cfg.lair_window_s = 2.0;
+  cfg.lair_step_s = 0.5;
+  cfg.lair_min_snr_db = 6.0;
+  ProtoHarness h(ProtocolKind::kLair, 2, 50.0, cfg);
+  // High SNR ⇒ no slide; tuned TS-like behaviour, everything heard.
+  h.sim_.run_until(45.0);
+  EXPECT_GT(h.sink_->reports_heard(), 4u);
+  // Radio budget includes the slack: on-fraction above plain TS tuning but
+  // still far below 1.
+  const double on = h.clients_[0]->radio_on_time(45.0) / 45.0;
+  EXPECT_LT(on, 0.6);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,134 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(3.0, EventPriority::kDefault, [&] { order.push_back(3); });
+  q.push(1.0, EventPriority::kDefault, [&] { order.push_back(1); });
+  q.push(2.0, EventPriority::kDefault, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTimeTies) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, EventPriority::kWorkload, [&] { order.push_back(2); });
+  q.push(1.0, EventPriority::kChannel, [&] { order.push_back(0); });
+  q.push(1.0, EventPriority::kTxDone, [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, InsertionOrderBreaksFullTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.push(1.0, EventPriority::kDefault, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, EventPriority::kDefault, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, EventPriority::kDefault, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, EventPriority::kDefault, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{9999}));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1.0, EventPriority::kDefault, [&] { order.push_back(1); });
+  const EventId id =
+      q.push(2.0, EventPriority::kDefault, [&] { order.push_back(2); });
+  q.push(3.0, EventPriority::kDefault, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(1.0, EventPriority::kDefault, [] {});
+  q.push(5.0, EventPriority::kDefault, [] {});
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, StressRandomOrderIsSorted) {
+  EventQueue q;
+  Rng rng(4);
+  for (int i = 0; i < 5000; ++i)
+    q.push(rng.uniform(0.0, 100.0), EventPriority::kDefault, [] {});
+  double last = -1.0;
+  while (!q.empty()) {
+    const auto rec = q.pop();
+    EXPECT_GE(rec.time, last);
+    last = rec.time;
+  }
+}
+
+TEST(EventQueue, StressWithRandomCancels) {
+  EventQueue q;
+  Rng rng(5);
+  std::vector<EventId> ids;
+  int live = 0;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(q.push(rng.uniform(0.0, 10.0), EventPriority::kDefault, [] {}));
+    ++live;
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(q.cancel(ids[i]));
+    --live;
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(live));
+  int popped = 0;
+  while (!q.empty()) {
+    q.pop();
+    ++popped;
+  }
+  EXPECT_EQ(popped, live);
+}
+
+}  // namespace
+}  // namespace wdc

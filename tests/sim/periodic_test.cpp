@@ -1,0 +1,60 @@
+#include "sim/periodic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wdc {
+namespace {
+
+TEST(PeriodicTimer, FiresOnGrid) {
+  Simulator sim;
+  std::vector<double> times;
+  PeriodicTimer t(sim, 2.0, 3.0, [&](std::uint64_t) { times.push_back(sim.now()); });
+  sim.run_until(12.0);
+  EXPECT_EQ(times, (std::vector<double>{2.0, 5.0, 8.0, 11.0}));
+}
+
+TEST(PeriodicTimer, TickIndicesIncrease) {
+  Simulator sim;
+  std::vector<std::uint64_t> ticks;
+  PeriodicTimer t(sim, 1.0, 1.0, [&](std::uint64_t k) { ticks.push_back(k); });
+  sim.run_until(4.5);
+  EXPECT_EQ(ticks, (std::vector<std::uint64_t>{0, 1, 2, 3}));
+}
+
+TEST(PeriodicTimer, NoFloatDriftOverManyTicks) {
+  Simulator sim;
+  double last = 0.0;
+  // 0.25 is exactly representable: ticks land on the grid with zero error, and
+  // because ticks are first + k·period (not cumulative adds) this holds for any
+  // number of ticks.
+  PeriodicTimer t(sim, 0.25, 0.25, [&](std::uint64_t) { last = sim.now(); });
+  sim.run_until(1000.0);
+  EXPECT_DOUBLE_EQ(last, 1000.0);
+  EXPECT_EQ(t.ticks_fired(), 4000u);
+}
+
+TEST(PeriodicTimer, StopCancelsFutureTicks) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTimer t(sim, 1.0, 1.0, [&](std::uint64_t) {
+    if (++fired == 2) t.stop();
+  });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Simulator sim;
+  int fired = 0;
+  {
+    PeriodicTimer t(sim, 1.0, 1.0, [&](std::uint64_t) { ++fired; });
+    sim.run_until(2.5);
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,110 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wdc {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToEnd) {
+  Simulator sim;
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, EventsSeeTheirOwnTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(3.5, [&] { seen = sim.now(); });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 3.5);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(1.5, [&] { seen = sim.now(); });
+  });
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 3.5);
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule_at(4.0, [] {}), std::logic_error);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Simulator, EventsBeyondEndStayQueued) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(20.0, [&] { fired = true; });
+  sim.run_until(10.0);
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run_until(30.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelWorksThroughSimulator) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run_until(5.0);
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, StopHaltsProcessing) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i)
+    sim.schedule_at(static_cast<double>(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 3);
+  // Remaining events still pending; a new run resumes.
+  sim.run_until(100.0);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, EventsExecutedCounts) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_in(1.0, [] {});
+  sim.run_until(2.0);
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(Simulator, RunAllDrainsEverything) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1.0, [&] {
+    ++count;
+    sim.schedule_in(1.0, [&] { ++count; });
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, SimultaneousEventsOrderedByPriority) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(1.0, [&] { order.push_back(1); }, EventPriority::kStats);
+  sim.schedule_at(1.0, [&] { order.push_back(0); }, EventPriority::kChannel);
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,73 @@
+#include "stats/ci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(StudentT, MatchesTableAt95) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(4, 0.95), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_critical(9, 0.95), 2.262, 1e-3);
+  EXPECT_NEAR(student_t_critical(29, 0.95), 2.045, 1e-3);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.960, 0.01);
+  EXPECT_NEAR(student_t_critical(1000, 0.99), 2.576, 0.01);
+}
+
+TEST(StudentT, RejectsBadArgs) {
+  EXPECT_THROW(student_t_critical(0, 0.95), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(5, 0.0), std::invalid_argument);
+  EXPECT_THROW(student_t_critical(5, 1.0), std::invalid_argument);
+}
+
+TEST(ConfidenceIntervalTest, EmptyAndSingle) {
+  EXPECT_EQ(confidence_interval({}).n, 0u);
+  const auto ci = confidence_interval({5.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 5.0);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+}
+
+TEST(ConfidenceIntervalTest, KnownSmallSample) {
+  // Samples {1,2,3}: mean 2, s = 1, hw = t(2,.95)·1/√3 = 4.303/1.732.
+  const auto ci = confidence_interval({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  EXPECT_NEAR(ci.half_width, 4.303 / std::sqrt(3.0), 1e-3);
+  EXPECT_NEAR(ci.lo(), 2.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.hi(), 2.0 + ci.half_width, 1e-12);
+}
+
+TEST(ConfidenceIntervalTest, CoverageIsRoughlyNominal) {
+  // Repeatedly form a 95% CI for the mean of Exp(1) from 20 samples; the true
+  // mean (1.0) should be inside ≈95% of the time.
+  Rng rng(42);
+  Exponential e(1.0);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs(20);
+    for (auto& x : xs) x = e.sample(rng);
+    const auto ci = confidence_interval(xs, 0.95);
+    if (ci.lo() <= 1.0 && 1.0 <= ci.hi()) ++covered;
+  }
+  const double cov = static_cast<double>(covered) / trials;
+  EXPECT_GT(cov, 0.90);
+  EXPECT_LT(cov, 0.99);
+}
+
+TEST(ConfidenceIntervalTest, RelativePrecision) {
+  const auto ci = confidence_interval({10.0, 10.0, 10.0});
+  EXPECT_DOUBLE_EQ(ci.relative(), 0.0);
+  ConfidenceInterval manual{4.0, 1.0, 3};
+  EXPECT_DOUBLE_EQ(manual.relative(), 0.25);
+}
+
+}  // namespace
+}  // namespace wdc

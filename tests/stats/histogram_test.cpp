@@ -1,0 +1,80 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(Histogram, RejectsBadLayout) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 10), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinBoundaries) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(9), 9.0);
+}
+
+TEST(Histogram, CountsIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(0.9);
+  h.add(9.99);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 1u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, UnderOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi boundary goes to overflow (half-open range)
+  h.add(5.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileOfUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.02);
+}
+
+TEST(Histogram, QuantileEdges) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+TEST(Histogram, QuantileOnEmpty) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 10);
+  a.add(1.5);
+  b.add(1.6);
+  b.add(11.0);
+  a.merge(b);
+  EXPECT_EQ(a.bin_count(1), 2u);
+  EXPECT_EQ(a.overflow(), 1u);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Histogram, MergeRejectsIncompatible) {
+  Histogram a(0.0, 10.0, 10), b(0.0, 10.0, 20);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,100 @@
+#include "stats/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wdc {
+namespace {
+
+TEST(Table, RejectsEmptyColumns) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CellBeforeRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.cell("x"), std::logic_error);
+}
+
+TEST(Table, OverfullRowThrows) {
+  Table t({"a"});
+  t.begin_row();
+  t.cell("1");
+  EXPECT_THROW(t.cell("2"), std::logic_error);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"d", "u", "ci"});
+  t.begin_row();
+  t.cell(3.14159, 2);
+  t.cell(std::uint64_t{42});
+  t.cell_ci(1.5, 0.25, 2);
+  const auto& row = t.rows()[0];
+  EXPECT_EQ(row[0], "3.14");
+  EXPECT_EQ(row[1], "42");
+  EXPECT_EQ(row[2], "1.50 ± 0.25");
+}
+
+TEST(Table, TextRenderingAligned) {
+  Table t({"name", "v"});
+  t.begin_row();
+  t.cell("x");
+  t.cell("1");
+  std::ostringstream os;
+  t.print_text(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.cell("plain");
+  t.cell("with,comma \"and quotes\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("\"with,comma \"\"and quotes\"\"\""), std::string::npos);
+}
+
+TEST(Table, MarkdownShape) {
+  Table t({"c1", "c2"});
+  t.begin_row();
+  t.cell("v1");
+  t.cell("v2");
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_NE(os.str().find("| c1 | c2 |"), std::string::npos);
+  EXPECT_NE(os.str().find("|---|---|"), std::string::npos);
+  EXPECT_NE(os.str().find("| v1 | v2 |"), std::string::npos);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  const std::string path = testing::TempDir() + "/wdc_table_test.csv";
+  Table t({"x"});
+  t.begin_row();
+  t.cell(1.0, 1);
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1.0");
+  std::remove(path.c_str());
+}
+
+TEST(Table, ShortRowRendersBlank) {
+  Table t({"a", "b"});
+  t.begin_row();
+  t.cell("only");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("only,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,52 @@
+#include "stats/time_weighted.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wdc {
+namespace {
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeighted tw(0.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 3.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.update(5.0, 1.0);  // 0 on [0,5), 1 on [5,10)
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 0.5);
+}
+
+TEST(TimeWeighted, MultipleSteps) {
+  TimeWeighted tw(0.0, 2.0);
+  tw.update(2.0, 4.0);
+  tw.update(6.0, 0.0);
+  // 2*2 + 4*4 + 0*4 = 20 over 10.
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 2.0);
+}
+
+TEST(TimeWeighted, NonzeroStart) {
+  TimeWeighted tw(100.0, 1.0);
+  tw.update(110.0, 3.0);
+  EXPECT_DOUBLE_EQ(tw.average(120.0), 2.0);
+}
+
+TEST(TimeWeighted, ZeroSpanReturnsCurrent) {
+  TimeWeighted tw(5.0, 7.0);
+  EXPECT_DOUBLE_EQ(tw.average(5.0), 7.0);
+}
+
+TEST(TimeWeighted, CurrentTracksLastValue) {
+  TimeWeighted tw(0.0, 1.0);
+  tw.update(1.0, 9.0);
+  EXPECT_DOUBLE_EQ(tw.current(), 9.0);
+}
+
+TEST(TimeWeighted, RepeatedUpdatesAtSameInstant) {
+  TimeWeighted tw(0.0, 0.0);
+  tw.update(5.0, 1.0);
+  tw.update(5.0, 2.0);  // zero-width interval contributes nothing
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 1.0);
+}
+
+}  // namespace
+}  // namespace wdc

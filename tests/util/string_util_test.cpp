@@ -1,0 +1,58 @@
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wdc {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hi  "), "hi");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Split, BasicFields) {
+  const auto v = split("a,b,c", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  const auto v = split(",x,,", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "");
+  EXPECT_EQ(v[1], "x");
+  EXPECT_EQ(v[2], "");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Split, NoDelimiterYieldsWhole) {
+  const auto v = split("abc", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "abc");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(starts_with("hello", "he"));
+  EXPECT_TRUE(starts_with("hello", ""));
+  EXPECT_FALSE(starts_with("he", "hello"));
+  EXPECT_FALSE(starts_with("hello", "el"));
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("plain"), "plain");
+}
+
+TEST(Strfmt, LongOutput) {
+  const std::string s = strfmt("%0500d", 7);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_EQ(s.back(), '7');
+}
+
+}  // namespace
+}  // namespace wdc

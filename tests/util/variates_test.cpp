@@ -1,0 +1,138 @@
+#include "util/variates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace wdc {
+namespace {
+
+constexpr int kN = 100000;
+
+TEST(Exponential, MeanMatchesRate) {
+  Rng rng(1);
+  Exponential e(2.0);
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += e.sample(rng);
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST(Exponential, AlwaysPositive) {
+  Rng rng(2);
+  Exponential e(10.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(e.sample(rng), 0.0);
+}
+
+TEST(Exponential, RejectsNonPositiveRate) {
+  EXPECT_THROW(Exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(Exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Normal, MomentsMatch) {
+  Rng rng(3);
+  Normal n(5.0, 2.0);
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = n.sample(rng);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Normal, RejectsNegativeStddev) {
+  EXPECT_THROW(Normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Lognormal, MedianIsExpMu) {
+  Rng rng(4);
+  Lognormal ln(1.0, 0.5);
+  std::vector<double> xs(kN);
+  for (auto& x : xs) x = ln.sample(rng);
+  std::nth_element(xs.begin(), xs.begin() + kN / 2, xs.end());
+  EXPECT_NEAR(xs[kN / 2], std::exp(1.0), 0.1);
+}
+
+TEST(Pareto, SamplesAboveScale) {
+  Rng rng(5);
+  Pareto p(2.0, 1.5);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(p.sample(rng), 2.0);
+}
+
+TEST(Pareto, MeanMatchesForFiniteMeanCase) {
+  Rng rng(6);
+  Pareto p(1.0, 3.0);  // mean = 1.5
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += p.sample(rng);
+  EXPECT_NEAR(sum / kN, p.mean(), 0.05);
+  EXPECT_DOUBLE_EQ(p.mean(), 1.5);
+}
+
+TEST(Pareto, InfiniteMeanReported) {
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 0.8).mean()));
+}
+
+TEST(Pareto, RejectsBadParams) {
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  Rng rng(7);
+  Zipf z(10, 0.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < kN; ++i) counts[z.sample(rng)]++;
+  for (const int c : counts) EXPECT_NEAR(c, kN / 10, kN / 10 * 0.1);
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  Zipf z(100, 0.9);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < z.n(); ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfMonotoneDecreasing) {
+  Zipf z(50, 1.2);
+  for (std::size_t k = 1; k < z.n(); ++k) EXPECT_LT(z.pmf(k), z.pmf(k - 1));
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  Rng rng(8);
+  Zipf z(20, 0.8);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kN; ++i) counts[z.sample(rng)]++;
+  for (std::size_t k = 0; k < 20; ++k)
+    EXPECT_NEAR(counts[k] / static_cast<double>(kN), z.pmf(k),
+                0.01 + 0.1 * z.pmf(k));
+}
+
+TEST(Zipf, RejectsBadParams) {
+  EXPECT_THROW(Zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Zipf(10, -0.5), std::invalid_argument);
+}
+
+TEST(Discrete, RespectsWeights) {
+  Rng rng(9);
+  Discrete d({1.0, 3.0, 0.0, 6.0});
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kN; ++i) counts[d.sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.3, 0.015);
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kN), 0.6, 0.015);
+}
+
+TEST(Discrete, RejectsBadWeights) {
+  EXPECT_THROW(Discrete({}), std::invalid_argument);
+  EXPECT_THROW(Discrete({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(Discrete({1.0, -1.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdc

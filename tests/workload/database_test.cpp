@@ -1,0 +1,139 @@
+#include "workload/database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wdc {
+namespace {
+
+DatabaseConfig manual_cfg(std::uint32_t items = 10) {
+  DatabaseConfig cfg;
+  cfg.num_items = items;
+  cfg.update_rate = 0.0;  // manual updates only
+  return cfg;
+}
+
+TEST(Database, RejectsBadConfig) {
+  Simulator sim;
+  DatabaseConfig cfg = manual_cfg(0);
+  EXPECT_THROW(Database(sim, cfg, Rng(1)), std::invalid_argument);
+}
+
+TEST(Database, InitialStateIsVersionZero) {
+  Simulator sim;
+  Database db(sim, manual_cfg(), Rng(1));
+  for (ItemId i = 0; i < 10; ++i) {
+    EXPECT_EQ(db.version(i), 0u);
+    EXPECT_DOUBLE_EQ(db.last_update(i), 0.0);
+  }
+  EXPECT_EQ(db.total_updates(), 0u);
+}
+
+TEST(Database, ManualUpdateAdvancesVersion) {
+  Simulator sim;
+  Database db(sim, manual_cfg(), Rng(1));
+  sim.run_until(5.0);
+  db.apply_update(3);
+  EXPECT_EQ(db.version(3), 1u);
+  EXPECT_DOUBLE_EQ(db.last_update(3), 5.0);
+  EXPECT_EQ(db.version(2), 0u);
+  EXPECT_THROW(db.apply_update(99), std::out_of_range);
+}
+
+TEST(Database, UpdatedBetweenHalfOpenInterval) {
+  Simulator sim;
+  Database db(sim, manual_cfg(), Rng(1));
+  sim.run_until(1.0);
+  db.apply_update(2);
+  sim.run_until(2.0);
+  db.apply_update(5);
+  // (1, 2] includes the update at exactly 2, excludes the one at exactly 1.
+  const auto ids = db.updated_between(1.0, 2.0);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 5u);
+  const auto all = db.updated_between(0.0, 10.0);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+TEST(Database, UpdatedBetweenDeduplicates) {
+  Simulator sim;
+  Database db(sim, manual_cfg(), Rng(1));
+  sim.run_until(1.0);
+  db.apply_update(4);
+  sim.run_until(2.0);
+  db.apply_update(4);
+  const auto ids = db.updated_between(0.0, 5.0);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], 4u);
+}
+
+TEST(Database, UpdatedInQueriesSingleItem) {
+  Simulator sim;
+  Database db(sim, manual_cfg(), Rng(1));
+  sim.run_until(3.0);
+  db.apply_update(7);
+  EXPECT_TRUE(db.updated_in(7, 2.0, 4.0));
+  EXPECT_TRUE(db.updated_in(7, 2.0, 3.0));   // inclusive right edge
+  EXPECT_FALSE(db.updated_in(7, 3.0, 4.0));  // exclusive left edge
+  EXPECT_FALSE(db.updated_in(6, 0.0, 10.0));
+}
+
+TEST(Database, VersionAtReconstructsHistory) {
+  Simulator sim;
+  Database db(sim, manual_cfg(), Rng(1));
+  sim.run_until(1.0);
+  db.apply_update(0);
+  sim.run_until(2.0);
+  db.apply_update(0);
+  EXPECT_EQ(db.version_at(0, 0.5), 0u);
+  EXPECT_EQ(db.version_at(0, 1.0), 1u);
+  EXPECT_EQ(db.version_at(0, 1.5), 1u);
+  EXPECT_EQ(db.version_at(0, 10.0), 2u);
+}
+
+TEST(Database, PoissonProcessHitsConfiguredRate) {
+  Simulator sim;
+  DatabaseConfig cfg;
+  cfg.num_items = 100;
+  cfg.update_rate = 10.0;
+  Database db(sim, cfg, Rng(2));
+  sim.run_until(1000.0);
+  EXPECT_NEAR(static_cast<double>(db.total_updates()), 10000.0, 400.0);
+}
+
+TEST(Database, HotColdSplitRespected) {
+  Simulator sim;
+  DatabaseConfig cfg;
+  cfg.num_items = 100;
+  cfg.hot_items = 10;
+  cfg.hot_update_frac = 0.8;
+  cfg.update_rate = 50.0;
+  Database db(sim, cfg, Rng(3));
+  sim.run_until(1000.0);
+  std::uint64_t hot = 0;
+  for (ItemId i = 0; i < 10; ++i) hot += db.version(i);
+  EXPECT_NEAR(static_cast<double>(hot) / static_cast<double>(db.total_updates()),
+              0.8, 0.02);
+}
+
+TEST(Database, HotItemsClampedToDbSize) {
+  Simulator sim;
+  DatabaseConfig cfg;
+  cfg.num_items = 5;
+  cfg.hot_items = 50;
+  cfg.update_rate = 0.0;
+  Database db(sim, cfg, Rng(4));
+  EXPECT_EQ(db.config().hot_items, 5u);
+}
+
+TEST(Database, ItemBitsExposed) {
+  Simulator sim;
+  DatabaseConfig cfg = manual_cfg();
+  cfg.item_bits = 4096;
+  Database db(sim, cfg, Rng(5));
+  EXPECT_EQ(db.item_bits(0), 4096u);
+}
+
+}  // namespace
+}  // namespace wdc

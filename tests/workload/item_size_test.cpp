@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "workload/database.hpp"
+
+namespace wdc {
+namespace {
+
+DatabaseConfig sized_cfg(double sigma) {
+  DatabaseConfig cfg;
+  cfg.num_items = 2000;
+  cfg.item_bits = 8192;
+  cfg.item_size_sigma = sigma;
+  cfg.update_rate = 0.0;
+  return cfg;
+}
+
+TEST(ItemSizes, HomogeneousByDefault) {
+  Simulator sim;
+  Database db(sim, sized_cfg(0.0), Rng(1));
+  for (ItemId i = 0; i < 100; ++i) EXPECT_EQ(db.item_bits(i), 8192u);
+  EXPECT_DOUBLE_EQ(db.mean_item_bits(), 8192.0);
+}
+
+TEST(ItemSizes, HeterogeneousSizesVary) {
+  Simulator sim;
+  Database db(sim, sized_cfg(1.0), Rng(2));
+  bool any_diff = false;
+  for (ItemId i = 1; i < 100; ++i)
+    if (db.item_bits(i) != db.item_bits(0)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ItemSizes, MeanIsPreserved) {
+  Simulator sim;
+  Database db(sim, sized_cfg(1.0), Rng(3));
+  // Lognormal with mu = ln(mean) − σ²/2 keeps E[size] = mean.
+  EXPECT_NEAR(db.mean_item_bits(), 8192.0, 8192.0 * 0.1);
+}
+
+TEST(ItemSizes, HeavyTailPresent) {
+  Simulator sim;
+  Database db(sim, sized_cfg(1.2), Rng(4));
+  // With σ = 1.2 the median is well below the mean (tail carries the mass).
+  std::vector<Bits> sizes;
+  for (ItemId i = 0; i < db.num_items(); ++i) sizes.push_back(db.item_bits(i));
+  std::sort(sizes.begin(), sizes.end());
+  const double median = static_cast<double>(sizes[sizes.size() / 2]);
+  EXPECT_LT(median, 0.7 * db.mean_item_bits());
+  // Floor respected.
+  EXPECT_GE(sizes.front(), 64u);
+}
+
+TEST(ItemSizes, DeterministicPerSeed) {
+  Simulator sim1, sim2;
+  Database a(sim1, sized_cfg(0.8), Rng(7));
+  Database b(sim2, sized_cfg(0.8), Rng(7));
+  for (ItemId i = 0; i < 50; ++i) EXPECT_EQ(a.item_bits(i), b.item_bits(i));
+}
+
+TEST(ItemSizes, RejectsNegativeSigma) {
+  Simulator sim;
+  EXPECT_THROW(Database(sim, sized_cfg(-0.1), Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,89 @@
+#include "workload/sleep_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wdc {
+namespace {
+
+TEST(SleepModel, DisabledStaysAwakeForever) {
+  Simulator sim;
+  SleepConfig cfg;
+  cfg.sleep_ratio = 0.0;
+  SleepModel m(sim, cfg, Rng(1));
+  sim.run_until(10000.0);
+  EXPECT_TRUE(m.awake());
+  EXPECT_EQ(m.sleep_episodes(), 0u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(SleepModel, RejectsBadRatio) {
+  Simulator sim;
+  SleepConfig cfg;
+  cfg.sleep_ratio = 1.0;
+  EXPECT_THROW(SleepModel(sim, cfg, Rng(1)), std::invalid_argument);
+  cfg.sleep_ratio = -0.1;
+  EXPECT_THROW(SleepModel(sim, cfg, Rng(1)), std::invalid_argument);
+}
+
+TEST(SleepModel, LongRunSleepFractionMatches) {
+  Simulator sim;
+  SleepConfig cfg;
+  cfg.sleep_ratio = 0.3;
+  cfg.mean_sleep_s = 50.0;
+  SleepModel m(sim, cfg, Rng(2));
+  double asleep_time = 0.0;
+  double last = 0.0;
+  bool was_awake = true;
+  // Sample by stepping the simulation and integrating.
+  for (int i = 1; i <= 200000; ++i) {
+    const double t = i * 1.0;
+    sim.run_until(t);
+    if (!was_awake) asleep_time += t - last;
+    was_awake = m.awake();
+    last = t;
+  }
+  EXPECT_NEAR(asleep_time / 200000.0, 0.3, 0.03);
+}
+
+TEST(SleepModel, TransitionsFireCallback) {
+  Simulator sim;
+  SleepConfig cfg;
+  cfg.sleep_ratio = 0.5;
+  cfg.mean_sleep_s = 10.0;
+  int edges = 0;
+  bool last_state = true;
+  SleepModel m(sim, cfg, Rng(3), [&](bool awake) {
+    EXPECT_NE(awake, last_state);
+    last_state = awake;
+    ++edges;
+  });
+  sim.run_until(1000.0);
+  EXPECT_GT(edges, 10);
+}
+
+TEST(SleepModel, LastWakeupTracksReconnection) {
+  Simulator sim;
+  SleepConfig cfg;
+  cfg.sleep_ratio = 0.5;
+  cfg.mean_sleep_s = 5.0;
+  SleepModel m(sim, cfg, Rng(4));
+  sim.run_until(500.0);
+  if (m.awake() && m.sleep_episodes() > 0) {
+    EXPECT_GT(m.last_wakeup(), 0.0);
+    EXPECT_LE(m.last_wakeup(), 500.0);
+  }
+}
+
+TEST(SleepModel, EpisodeCountGrows) {
+  Simulator sim;
+  SleepConfig cfg;
+  cfg.sleep_ratio = 0.5;
+  cfg.mean_sleep_s = 2.0;
+  SleepModel m(sim, cfg, Rng(5));
+  sim.run_until(1000.0);
+  // mean cycle = 4 s ⇒ about 250 episodes.
+  EXPECT_NEAR(static_cast<double>(m.sleep_episodes()), 250.0, 80.0);
+}
+
+}  // namespace
+}  // namespace wdc

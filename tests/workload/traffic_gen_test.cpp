@@ -1,0 +1,101 @@
+#include "workload/traffic_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wdc {
+namespace {
+
+TEST(TrafficGen, OffProducesNothing) {
+  Simulator sim;
+  TrafficConfig cfg;
+  cfg.model = TrafficModel::kOff;
+  int frames = 0;
+  TrafficGenerator gen(sim, cfg, 10, Rng(1), [&](const TrafficFrame&) { ++frames; });
+  sim.run_until(100.0);
+  EXPECT_EQ(frames, 0);
+}
+
+TEST(TrafficGen, PoissonOfferedLoadMatches) {
+  Simulator sim;
+  TrafficConfig cfg;
+  cfg.model = TrafficModel::kPoisson;
+  cfg.offered_bps = 10000.0;
+  cfg.frame_bits = 1000;
+  Bits bits = 0;
+  TrafficGenerator gen(sim, cfg, 10, Rng(2),
+                       [&](const TrafficFrame& f) { bits += f.bits; });
+  sim.run_until(1000.0);
+  EXPECT_NEAR(static_cast<double>(bits) / 1000.0, 10000.0, 700.0);
+  EXPECT_EQ(gen.bits(), bits);
+}
+
+TEST(TrafficGen, ParetoOfferedLoadMatches) {
+  Simulator sim;
+  TrafficConfig cfg;
+  cfg.model = TrafficModel::kParetoBurst;
+  cfg.offered_bps = 10000.0;
+  cfg.frame_bits = 1000;
+  cfg.pareto_alpha = 2.0;
+  cfg.burst_mean_frames = 8.0;
+  Bits bits = 0;
+  TrafficGenerator gen(sim, cfg, 10, Rng(3),
+                       [&](const TrafficFrame& f) { bits += f.bits; });
+  sim.run_until(5000.0);
+  // Heavy-tailed: allow a generous tolerance.
+  EXPECT_NEAR(static_cast<double>(bits) / 5000.0, 10000.0, 3000.0);
+}
+
+TEST(TrafficGen, ParetoBurstsShareDestination) {
+  Simulator sim;
+  TrafficConfig cfg;
+  cfg.model = TrafficModel::kParetoBurst;
+  cfg.offered_bps = 50000.0;
+  cfg.frame_bits = 1000;
+  std::vector<TrafficFrame> frames;
+  TrafficGenerator gen(sim, cfg, 50, Rng(4),
+                       [&](const TrafficFrame& f) { frames.push_back(f); });
+  sim.run_until(100.0);
+  ASSERT_GT(frames.size(), 20u);
+  // Consecutive frames should repeat destinations much more often than the 1/50
+  // chance of independent uniform picks.
+  int repeats = 0;
+  for (std::size_t i = 1; i < frames.size(); ++i)
+    if (frames[i].dest == frames[i - 1].dest) ++repeats;
+  EXPECT_GT(repeats, static_cast<int>(frames.size()) / 10);
+}
+
+TEST(TrafficGen, DestinationsCoverClients) {
+  Simulator sim;
+  TrafficConfig cfg;
+  cfg.model = TrafficModel::kPoisson;
+  cfg.offered_bps = 100000.0;
+  cfg.frame_bits = 1000;
+  std::vector<int> counts(5, 0);
+  TrafficGenerator gen(sim, cfg, 5, Rng(5), [&](const TrafficFrame& f) {
+    ASSERT_LT(f.dest, 5u);
+    counts[f.dest]++;
+  });
+  sim.run_until(200.0);
+  for (const int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(TrafficGen, RequiresSinkAndClients) {
+  Simulator sim;
+  TrafficConfig cfg;
+  EXPECT_THROW(TrafficGenerator(sim, cfg, 10, Rng(6), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(TrafficGenerator(sim, cfg, 0, Rng(6), [](const TrafficFrame&) {}),
+               std::invalid_argument);
+}
+
+TEST(TrafficModelParsing, RoundTrips) {
+  for (const auto m :
+       {TrafficModel::kOff, TrafficModel::kPoisson, TrafficModel::kParetoBurst})
+    EXPECT_EQ(traffic_model_from_string(to_string(m)), m);
+  EXPECT_THROW(traffic_model_from_string("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wdc
