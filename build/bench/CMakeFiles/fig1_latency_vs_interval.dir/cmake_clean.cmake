@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_latency_vs_interval.dir/fig1_latency_vs_interval.cpp.o"
+  "CMakeFiles/fig1_latency_vs_interval.dir/fig1_latency_vs_interval.cpp.o.d"
+  "fig1_latency_vs_interval"
+  "fig1_latency_vs_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_latency_vs_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hitratio_vs_updates.dir/fig2_hitratio_vs_updates.cpp.o"
+  "CMakeFiles/fig2_hitratio_vs_updates.dir/fig2_hitratio_vs_updates.cpp.o.d"
+  "fig2_hitratio_vs_updates"
+  "fig2_hitratio_vs_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hitratio_vs_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_vs_queryrate.dir/fig3_vs_queryrate.cpp.o"
+  "CMakeFiles/fig3_vs_queryrate.dir/fig3_vs_queryrate.cpp.o.d"
+  "fig3_vs_queryrate"
+  "fig3_vs_queryrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_vs_queryrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

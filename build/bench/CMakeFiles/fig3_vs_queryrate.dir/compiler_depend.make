@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_vs_queryrate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_overhead_vs_updates.dir/fig4_overhead_vs_updates.cpp.o"
+  "CMakeFiles/fig4_overhead_vs_updates.dir/fig4_overhead_vs_updates.cpp.o.d"
+  "fig4_overhead_vs_updates"
+  "fig4_overhead_vs_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_overhead_vs_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

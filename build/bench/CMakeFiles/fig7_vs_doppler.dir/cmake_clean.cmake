@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_vs_doppler.dir/fig7_vs_doppler.cpp.o"
+  "CMakeFiles/fig7_vs_doppler.dir/fig7_vs_doppler.cpp.o.d"
+  "fig7_vs_doppler"
+  "fig7_vs_doppler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_vs_doppler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

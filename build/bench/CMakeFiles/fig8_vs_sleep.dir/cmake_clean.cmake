@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_vs_sleep.dir/fig8_vs_sleep.cpp.o"
+  "CMakeFiles/fig8_vs_sleep.dir/fig8_vs_sleep.cpp.o.d"
+  "fig8_vs_sleep"
+  "fig8_vs_sleep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_vs_sleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_summary.dir/tab1_summary.cpp.o"
+  "CMakeFiles/tab1_summary.dir/tab1_summary.cpp.o.d"
+  "tab1_summary"
+  "tab1_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

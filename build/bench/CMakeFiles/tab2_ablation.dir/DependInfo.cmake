@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab2_ablation.cpp" "bench/CMakeFiles/tab2_ablation.dir/tab2_ablation.cpp.o" "gcc" "bench/CMakeFiles/tab2_ablation.dir/tab2_ablation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/wdc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/wdc_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wdc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wdc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wdc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wdc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/wdc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wdc_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wdc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_ablation.dir/tab2_ablation.cpp.o"
+  "CMakeFiles/tab2_ablation.dir/tab2_ablation.cpp.o.d"
+  "tab2_ablation"
+  "tab2_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_baselines.dir/tab3_baselines.cpp.o"
+  "CMakeFiles/tab3_baselines.dir/tab3_baselines.cpp.o.d"
+  "tab3_baselines"
+  "tab3_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

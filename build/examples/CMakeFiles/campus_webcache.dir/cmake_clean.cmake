@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_webcache.dir/campus_webcache.cpp.o"
+  "CMakeFiles/campus_webcache.dir/campus_webcache.cpp.o.d"
+  "campus_webcache"
+  "campus_webcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_webcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

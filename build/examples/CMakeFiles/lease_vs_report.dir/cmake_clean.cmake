@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_vs_report.dir/lease_vs_report.cpp.o"
+  "CMakeFiles/lease_vs_report.dir/lease_vs_report.cpp.o.d"
+  "lease_vs_report"
+  "lease_vs_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_vs_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_analysis.dir/fading_theory.cpp.o"
+  "CMakeFiles/wdc_analysis.dir/fading_theory.cpp.o.d"
+  "CMakeFiles/wdc_analysis.dir/ir_theory.cpp.o"
+  "CMakeFiles/wdc_analysis.dir/ir_theory.cpp.o.d"
+  "libwdc_analysis.a"
+  "libwdc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

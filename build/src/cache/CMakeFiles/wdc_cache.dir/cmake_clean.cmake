@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_cache.dir/lru_cache.cpp.o"
+  "CMakeFiles/wdc_cache.dir/lru_cache.cpp.o.d"
+  "libwdc_cache.a"
+  "libwdc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

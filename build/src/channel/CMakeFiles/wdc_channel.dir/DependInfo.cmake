@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/fsmc.cpp" "src/channel/CMakeFiles/wdc_channel.dir/fsmc.cpp.o" "gcc" "src/channel/CMakeFiles/wdc_channel.dir/fsmc.cpp.o.d"
+  "/root/repo/src/channel/gilbert_elliott.cpp" "src/channel/CMakeFiles/wdc_channel.dir/gilbert_elliott.cpp.o" "gcc" "src/channel/CMakeFiles/wdc_channel.dir/gilbert_elliott.cpp.o.d"
+  "/root/repo/src/channel/jakes.cpp" "src/channel/CMakeFiles/wdc_channel.dir/jakes.cpp.o" "gcc" "src/channel/CMakeFiles/wdc_channel.dir/jakes.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/wdc_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/wdc_channel.dir/pathloss.cpp.o.d"
+  "/root/repo/src/channel/shadowing.cpp" "src/channel/CMakeFiles/wdc_channel.dir/shadowing.cpp.o" "gcc" "src/channel/CMakeFiles/wdc_channel.dir/shadowing.cpp.o.d"
+  "/root/repo/src/channel/snr_process.cpp" "src/channel/CMakeFiles/wdc_channel.dir/snr_process.cpp.o" "gcc" "src/channel/CMakeFiles/wdc_channel.dir/snr_process.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

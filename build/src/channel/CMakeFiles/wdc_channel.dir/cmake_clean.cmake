@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_channel.dir/fsmc.cpp.o"
+  "CMakeFiles/wdc_channel.dir/fsmc.cpp.o.d"
+  "CMakeFiles/wdc_channel.dir/gilbert_elliott.cpp.o"
+  "CMakeFiles/wdc_channel.dir/gilbert_elliott.cpp.o.d"
+  "CMakeFiles/wdc_channel.dir/jakes.cpp.o"
+  "CMakeFiles/wdc_channel.dir/jakes.cpp.o.d"
+  "CMakeFiles/wdc_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/wdc_channel.dir/pathloss.cpp.o.d"
+  "CMakeFiles/wdc_channel.dir/shadowing.cpp.o"
+  "CMakeFiles/wdc_channel.dir/shadowing.cpp.o.d"
+  "CMakeFiles/wdc_channel.dir/snr_process.cpp.o"
+  "CMakeFiles/wdc_channel.dir/snr_process.cpp.o.d"
+  "libwdc_channel.a"
+  "libwdc_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

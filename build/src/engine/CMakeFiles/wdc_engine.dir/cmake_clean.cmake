@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_engine.dir/metrics.cpp.o"
+  "CMakeFiles/wdc_engine.dir/metrics.cpp.o.d"
+  "CMakeFiles/wdc_engine.dir/replication.cpp.o"
+  "CMakeFiles/wdc_engine.dir/replication.cpp.o.d"
+  "CMakeFiles/wdc_engine.dir/scenario.cpp.o"
+  "CMakeFiles/wdc_engine.dir/scenario.cpp.o.d"
+  "CMakeFiles/wdc_engine.dir/simulation.cpp.o"
+  "CMakeFiles/wdc_engine.dir/simulation.cpp.o.d"
+  "libwdc_engine.a"
+  "libwdc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

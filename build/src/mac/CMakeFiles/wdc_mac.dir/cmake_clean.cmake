@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_mac.dir/broadcast_mac.cpp.o"
+  "CMakeFiles/wdc_mac.dir/broadcast_mac.cpp.o.d"
+  "CMakeFiles/wdc_mac.dir/uplink.cpp.o"
+  "CMakeFiles/wdc_mac.dir/uplink.cpp.o.d"
+  "libwdc_mac.a"
+  "libwdc_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/amc.cpp" "src/phy/CMakeFiles/wdc_phy.dir/amc.cpp.o" "gcc" "src/phy/CMakeFiles/wdc_phy.dir/amc.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/wdc_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/wdc_phy.dir/mcs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wdc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

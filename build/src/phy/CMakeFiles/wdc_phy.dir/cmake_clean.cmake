@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_phy.dir/amc.cpp.o"
+  "CMakeFiles/wdc_phy.dir/amc.cpp.o.d"
+  "CMakeFiles/wdc_phy.dir/mcs.cpp.o"
+  "CMakeFiles/wdc_phy.dir/mcs.cpp.o.d"
+  "libwdc_phy.a"
+  "libwdc_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwdc_phy.a"
+)

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/at.cpp" "src/proto/CMakeFiles/wdc_proto.dir/at.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/at.cpp.o.d"
+  "/root/repo/src/proto/baselines.cpp" "src/proto/CMakeFiles/wdc_proto.dir/baselines.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/baselines.cpp.o.d"
+  "/root/repo/src/proto/bs.cpp" "src/proto/CMakeFiles/wdc_proto.dir/bs.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/bs.cpp.o.d"
+  "/root/repo/src/proto/cbl.cpp" "src/proto/CMakeFiles/wdc_proto.dir/cbl.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/cbl.cpp.o.d"
+  "/root/repo/src/proto/client_base.cpp" "src/proto/CMakeFiles/wdc_proto.dir/client_base.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/client_base.cpp.o.d"
+  "/root/repo/src/proto/factory.cpp" "src/proto/CMakeFiles/wdc_proto.dir/factory.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/factory.cpp.o.d"
+  "/root/repo/src/proto/hyb.cpp" "src/proto/CMakeFiles/wdc_proto.dir/hyb.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/hyb.cpp.o.d"
+  "/root/repo/src/proto/lair.cpp" "src/proto/CMakeFiles/wdc_proto.dir/lair.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/lair.cpp.o.d"
+  "/root/repo/src/proto/pig.cpp" "src/proto/CMakeFiles/wdc_proto.dir/pig.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/pig.cpp.o.d"
+  "/root/repo/src/proto/protocol.cpp" "src/proto/CMakeFiles/wdc_proto.dir/protocol.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/protocol.cpp.o.d"
+  "/root/repo/src/proto/reports.cpp" "src/proto/CMakeFiles/wdc_proto.dir/reports.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/reports.cpp.o.d"
+  "/root/repo/src/proto/server_base.cpp" "src/proto/CMakeFiles/wdc_proto.dir/server_base.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/server_base.cpp.o.d"
+  "/root/repo/src/proto/sig.cpp" "src/proto/CMakeFiles/wdc_proto.dir/sig.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/sig.cpp.o.d"
+  "/root/repo/src/proto/stats_sink.cpp" "src/proto/CMakeFiles/wdc_proto.dir/stats_sink.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/stats_sink.cpp.o.d"
+  "/root/repo/src/proto/ts.cpp" "src/proto/CMakeFiles/wdc_proto.dir/ts.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/ts.cpp.o.d"
+  "/root/repo/src/proto/uir.cpp" "src/proto/CMakeFiles/wdc_proto.dir/uir.cpp.o" "gcc" "src/proto/CMakeFiles/wdc_proto.dir/uir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/wdc_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/wdc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/wdc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/wdc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/wdc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wdc_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

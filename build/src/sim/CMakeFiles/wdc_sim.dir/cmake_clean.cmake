@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/wdc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/wdc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wdc_sim.dir/simulator.cpp.o.d"
+  "libwdc_sim.a"
+  "libwdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_stats.dir/ci.cpp.o"
+  "CMakeFiles/wdc_stats.dir/ci.cpp.o.d"
+  "CMakeFiles/wdc_stats.dir/histogram.cpp.o"
+  "CMakeFiles/wdc_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/wdc_stats.dir/summary.cpp.o"
+  "CMakeFiles/wdc_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/wdc_stats.dir/table.cpp.o"
+  "CMakeFiles/wdc_stats.dir/table.cpp.o.d"
+  "CMakeFiles/wdc_stats.dir/time_weighted.cpp.o"
+  "CMakeFiles/wdc_stats.dir/time_weighted.cpp.o.d"
+  "libwdc_stats.a"
+  "libwdc_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

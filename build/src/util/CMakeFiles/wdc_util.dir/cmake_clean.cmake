@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_util.dir/config.cpp.o"
+  "CMakeFiles/wdc_util.dir/config.cpp.o.d"
+  "CMakeFiles/wdc_util.dir/log.cpp.o"
+  "CMakeFiles/wdc_util.dir/log.cpp.o.d"
+  "CMakeFiles/wdc_util.dir/rng.cpp.o"
+  "CMakeFiles/wdc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/wdc_util.dir/string_util.cpp.o"
+  "CMakeFiles/wdc_util.dir/string_util.cpp.o.d"
+  "CMakeFiles/wdc_util.dir/variates.cpp.o"
+  "CMakeFiles/wdc_util.dir/variates.cpp.o.d"
+  "libwdc_util.a"
+  "libwdc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

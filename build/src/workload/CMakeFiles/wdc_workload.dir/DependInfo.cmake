@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/database.cpp" "src/workload/CMakeFiles/wdc_workload.dir/database.cpp.o" "gcc" "src/workload/CMakeFiles/wdc_workload.dir/database.cpp.o.d"
+  "/root/repo/src/workload/query_gen.cpp" "src/workload/CMakeFiles/wdc_workload.dir/query_gen.cpp.o" "gcc" "src/workload/CMakeFiles/wdc_workload.dir/query_gen.cpp.o.d"
+  "/root/repo/src/workload/sleep_model.cpp" "src/workload/CMakeFiles/wdc_workload.dir/sleep_model.cpp.o" "gcc" "src/workload/CMakeFiles/wdc_workload.dir/sleep_model.cpp.o.d"
+  "/root/repo/src/workload/traffic_gen.cpp" "src/workload/CMakeFiles/wdc_workload.dir/traffic_gen.cpp.o" "gcc" "src/workload/CMakeFiles/wdc_workload.dir/traffic_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wdc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wdc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_workload.dir/database.cpp.o"
+  "CMakeFiles/wdc_workload.dir/database.cpp.o.d"
+  "CMakeFiles/wdc_workload.dir/query_gen.cpp.o"
+  "CMakeFiles/wdc_workload.dir/query_gen.cpp.o.d"
+  "CMakeFiles/wdc_workload.dir/sleep_model.cpp.o"
+  "CMakeFiles/wdc_workload.dir/sleep_model.cpp.o.d"
+  "CMakeFiles/wdc_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/wdc_workload.dir/traffic_gen.cpp.o.d"
+  "libwdc_workload.a"
+  "libwdc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

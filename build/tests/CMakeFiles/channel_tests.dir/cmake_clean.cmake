@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_tests.dir/channel/fsmc_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/fsmc_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/gilbert_elliott_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/gilbert_elliott_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/jakes_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/jakes_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/pathloss_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/pathloss_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/shadowing_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/shadowing_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/snr_process_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/snr_process_test.cpp.o.d"
+  "channel_tests"
+  "channel_tests.pdb"
+  "channel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_tests.dir/engine/accounting_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/accounting_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/determinism_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/determinism_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/invariants_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/invariants_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/ordering_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/ordering_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/replication_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/replication_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/scenario_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/scenario_test.cpp.o.d"
+  "CMakeFiles/engine_tests.dir/engine/simulation_test.cpp.o"
+  "CMakeFiles/engine_tests.dir/engine/simulation_test.cpp.o.d"
+  "engine_tests"
+  "engine_tests.pdb"
+  "engine_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

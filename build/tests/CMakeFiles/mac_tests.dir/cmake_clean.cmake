@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mac_tests.dir/mac/broadcast_mac_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/broadcast_mac_test.cpp.o.d"
+  "CMakeFiles/mac_tests.dir/mac/uplink_test.cpp.o"
+  "CMakeFiles/mac_tests.dir/mac/uplink_test.cpp.o.d"
+  "mac_tests"
+  "mac_tests.pdb"
+  "mac_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mac_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

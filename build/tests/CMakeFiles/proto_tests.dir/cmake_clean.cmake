@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proto_tests.dir/proto/baselines_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/baselines_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/bs_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/bs_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/cbl_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/cbl_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/digest_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/digest_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/reports_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/reports_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/semantics_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/semantics_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/sig_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/sig_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/timeout_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/timeout_test.cpp.o.d"
+  "CMakeFiles/proto_tests.dir/proto/tuning_test.cpp.o"
+  "CMakeFiles/proto_tests.dir/proto/tuning_test.cpp.o.d"
+  "proto_tests"
+  "proto_tests.pdb"
+  "proto_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proto_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/database_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/database_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/item_size_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/item_size_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/query_gen_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/query_gen_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/sleep_model_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/sleep_model_test.cpp.o.d"
+  "CMakeFiles/workload_tests.dir/workload/traffic_gen_test.cpp.o"
+  "CMakeFiles/workload_tests.dir/workload/traffic_gen_test.cpp.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

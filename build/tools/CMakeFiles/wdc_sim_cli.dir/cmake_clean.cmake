@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wdc_sim_cli.dir/wdc_sim.cpp.o"
+  "CMakeFiles/wdc_sim_cli.dir/wdc_sim.cpp.o.d"
+  "wdc_sim"
+  "wdc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wdc_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
