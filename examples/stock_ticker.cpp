@@ -54,9 +54,11 @@ int main(int argc, char** argv) {
     sim.run_until(100.0 + 300.0 * slice);
     const Metrics m = sim.collect();
     std::cout << strfmt("%8.0f %10llu %10.3f %9.2fs %12llu %12.3f\n",
-                        m.sim_time_s, (unsigned long long)m.answered,
-                        m.hit_ratio, m.mean_latency_s,
-                        (unsigned long long)m.stale_serves, m.uplink_per_query);
+                        m.sim_time_s,
+                        static_cast<unsigned long long>(m.answered), m.hit_ratio,
+                        m.mean_latency_s,
+                        static_cast<unsigned long long>(m.stale_serves),
+                        m.uplink_per_query);
   }
 
   const Metrics m = sim.collect();

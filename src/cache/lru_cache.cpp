@@ -29,22 +29,31 @@ std::optional<ItemId> LruCache::put(const CacheEntry& entry) {
   if (const auto it = map_.find(entry.id); it != map_.end()) {
     *it->second = entry;
     lru_.splice(lru_.begin(), lru_, it->second);
+    maybe_audit();
     return std::nullopt;
   }
   lru_.push_front(entry);
   map_[entry.id] = lru_.begin();
   if (map_.size() > capacity_) {
     const ItemId victim = lru_.back().id;
+    WDC_ASSERT(victim != entry.id, "new entry ", entry.id,
+               " became the LRU victim immediately");
     map_.erase(victim);
     lru_.pop_back();
     ++evictions_;
+    maybe_audit();
     return victim;
   }
+  maybe_audit();
   return std::nullopt;
 }
 
 void LruCache::revalidate_all(SimTime consistency_point) {
-  for (auto& e : lru_) e.validated_at = consistency_point;
+  // `validated_at` is the *latest* certifying point: a report stamped behind an
+  // entry's current certification (e.g. a digest delayed behind a full report
+  // in the MAC queue) must not rewind it.
+  for (auto& e : lru_)
+    if (consistency_point > e.validated_at) e.validated_at = consistency_point;
 }
 
 bool LruCache::erase(ItemId id) {
@@ -52,6 +61,7 @@ bool LruCache::erase(ItemId id) {
   if (it == map_.end()) return false;
   lru_.erase(it->second);
   map_.erase(it);
+  maybe_audit();
   return true;
 }
 
@@ -59,6 +69,7 @@ void LruCache::clear() {
   if (!map_.empty()) ++clears_;
   lru_.clear();
   map_.clear();
+  maybe_audit();
 }
 
 std::vector<ItemId> LruCache::resident() const {
@@ -66,6 +77,28 @@ std::vector<ItemId> LruCache::resident() const {
   out.reserve(map_.size());
   for (const auto& e : lru_) out.push_back(e.id);
   return out;
+}
+
+void LruCache::maybe_audit() const {
+#if WDC_CHECKS_ENABLED
+  if ((++mutations_ % kAuditPeriod) == 0) audit();
+#endif
+}
+
+void LruCache::audit() const {
+#if WDC_CHECKS_ENABLED
+  WDC_CHECK(map_.size() <= capacity_, "cache holds ", map_.size(),
+            " entries over its capacity ", capacity_);
+  // Index and list must agree in size; combined with the per-entry id match
+  // below this rules out duplicate ids in the recency list.
+  WDC_CHECK(map_.size() == lru_.size(), "index size ", map_.size(),
+            " != recency-list size ", lru_.size());
+  for (const auto& [id, it] : map_) {
+    WDC_CHECK(it->id == id, "index entry ", id,
+              " resolves to a node carrying id ", it->id);
+    WDC_CHECK(id != kInvalidItem, "sentinel item id resident in the cache");
+  }
+#endif
 }
 
 }  // namespace wdc

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/check.hpp"
 #include "util/types.hpp"
 
 namespace wdc {
@@ -71,8 +72,18 @@ class LruCache {
   /// invalidation from capacity eviction in the stats).
   void note_invalidation() { ++invalidations_; }
 
+  /// Structural audit: size bound, map↔list agreement (which rules out duplicate
+  /// ids), every index entry resolves to a node carrying its id. Trips a
+  /// WDC_CHECK on corruption; no-op when checks are compiled out.
+  void audit() const;
+
  private:
   using LruList = std::list<CacheEntry>;
+
+  /// Full audits are amortised: one every kAuditPeriod mutations.
+  static constexpr std::uint64_t kAuditPeriod = 64;
+
+  void maybe_audit() const;
 
   std::size_t capacity_;
   LruList lru_;  ///< front = MRU
@@ -82,6 +93,7 @@ class LruCache {
   std::uint64_t evictions_ = 0;
   std::uint64_t invalidations_ = 0;
   std::uint64_t clears_ = 0;
+  mutable std::uint64_t mutations_ = 0;
 };
 
 }  // namespace wdc

@@ -1,10 +1,11 @@
 #include "channel/fsmc.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "util/check.hpp"
 
 namespace wdc {
 
@@ -79,8 +80,10 @@ void Fsmc::step() {
 }
 
 unsigned Fsmc::state(SimTime t) {
+  WDC_ASSERT(t >= 0.0, "Fsmc: negative query time ", t);
+  // Queries behind the frontier (delayed-CSI sampling) see the newest state;
+  // the chain only ever advances.
   const auto target = static_cast<std::int64_t>(t / slot_s_);
-  assert(target >= slots_done_ && "Fsmc: time must be non-decreasing");
   while (slots_done_ < target) {
     step();
     ++slots_done_;

@@ -12,8 +12,11 @@
 ///     N(Γ) = sqrt(2πΓ/γ̄) · f_d · exp(−Γ/γ̄):
 ///     p_{k,k+1} = N(Γ_{k+1})·T_s / π_k ,  p_{k,k−1} = N(Γ_k)·T_s / π_k .
 ///
-/// The FSMC advances lazily: callers query state(t) / snr_db(t) with non-decreasing
-/// t and the chain fast-forwards the needed number of slots.
+/// The FSMC advances lazily: a state(t) / snr_db(t) query fast-forwards the
+/// chain by the needed number of slots. A query *behind* the frontier (the MAC
+/// samples delayed CSI at now − csi_delay while decode draws sample at now)
+/// returns the newest state — a Markov chain cannot rewind, and the frontier
+/// only ever moves forward.
 
 #include <cstdint>
 #include <vector>
@@ -32,7 +35,8 @@ class Fsmc {
   Fsmc(double mean_snr_db, double doppler_hz, unsigned num_states, double slot_s,
        Rng rng);
 
-  /// State index in [0, K) at time t (0 = deepest fade). t must be non-decreasing.
+  /// State index in [0, K) at time t (0 = deepest fade). Queries behind the
+  /// already-simulated frontier return the newest state (see file comment).
   unsigned state(SimTime t);
 
   /// Representative SNR of the current state: the conditional mean SNR within the

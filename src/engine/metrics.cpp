@@ -4,44 +4,48 @@
 
 #include "util/string_util.hpp"
 
+namespace {
+/// %llu-friendly view of a counter (uint64_t's underlying type varies).
+constexpr unsigned long long ull(std::uint64_t v) { return v; }
+}  // namespace
+
 namespace wdc {
 
 void Metrics::print(std::ostream& os) const {
   os << strfmt("queries            %llu (answered %llu, dropped %llu)\n",
-               (unsigned long long)queries, (unsigned long long)answered,
-               (unsigned long long)dropped_queries);
+               ull(queries), ull(answered), ull(dropped_queries));
   os << strfmt("hit ratio          %.4f (%llu hits / %llu misses)\n", hit_ratio,
-               (unsigned long long)hits, (unsigned long long)misses);
-  os << strfmt("latency            mean %.3fs  p50 %.3fs  p90 %.3fs  p99 %.3fs\n",
-               mean_latency_s, p50_latency_s, p90_latency_s, p99_latency_s);
+               ull(hits), ull(misses));
+  os << strfmt(
+      "latency            mean %.3fs  p50 %.3fs  p90 %.3fs  p99 %.3fs\n",
+      mean_latency_s, p50_latency_s, p90_latency_s, p99_latency_s);
   os << strfmt("  hit/miss         %.3fs / %.3fs\n", mean_hit_latency_s,
                mean_miss_latency_s);
   os << strfmt("stale serves       %llu (consistency violations)\n",
-               (unsigned long long)stale_serves);
-  os << strfmt("uplink             %llu requests (%.3f per query, %llu retries)\n",
-               (unsigned long long)uplink_requests, uplink_per_query,
-               (unsigned long long)request_retries);
+               ull(stale_serves));
+  os << strfmt(
+      "uplink             %llu requests (%.3f per query, %llu retries)\n",
+      ull(uplink_requests), uplink_per_query, ull(request_retries));
   os << strfmt("reports            %llu full + %llu mini sent; loss rate %.4f\n",
-               (unsigned long long)reports_sent, (unsigned long long)minis_sent,
-               report_loss_rate);
+               ull(reports_sent), ull(minis_sent), report_loss_rate);
   os << strfmt("cache              %llu drops, %llu false invalidations\n",
-               (unsigned long long)cache_drops,
-               (unsigned long long)false_invalidations);
+               ull(cache_drops), ull(false_invalidations));
   os << strfmt("digests            %llu applied, %llu early answers\n",
-               (unsigned long long)digests_applied,
-               (unsigned long long)digest_answers);
-  os << strfmt("airtime            busy %.3f; reports %.1fs items %.1fs data %.1fs\n",
-               mac_busy_frac, report_airtime_s, item_airtime_s, data_airtime_s);
+               ull(digests_applied), ull(digest_answers));
+  os << strfmt(
+      "airtime            busy %.3f; reports %.1fs items %.1fs data %.1fs\n",
+      mac_busy_frac, report_airtime_s, item_airtime_s, data_airtime_s);
   os << strfmt("report overhead    %.4f of wall clock; mean broadcast MCS %.2f\n",
                report_overhead_frac, mean_broadcast_mcs);
   os << strfmt("data queue delay   %.3fs mean; %llu frames dropped\n",
-               data_queue_delay_s, (unsigned long long)data_frames_dropped);
-  os << strfmt("energy proxy       %.4fs listen airtime per query; radio on %.3f "
-               "of the time\n",
-               listen_airtime_per_query, radio_on_frac);
+               data_queue_delay_s, ull(data_frames_dropped));
+  os << strfmt(
+      "energy proxy       %.4fs listen airtime per query; radio on %.3f "
+      "of the time\n",
+      listen_airtime_per_query, radio_on_frac);
   if (lair_deferred > 0)
     os << strfmt("LAIR               %llu deferred reports, mean slide %.3fs\n",
-                 (unsigned long long)lair_deferred, lair_mean_deferral_s);
+                 ull(lair_deferred), lair_mean_deferral_s);
   if (hyb_mean_m > 0.0)
     os << strfmt("HYB                mean m %.2f\n", hyb_mean_m);
 }

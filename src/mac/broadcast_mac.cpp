@@ -1,7 +1,6 @@
 #include "mac/broadcast_mac.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <stdexcept>
 
@@ -33,10 +32,13 @@ ClientId BroadcastMac::register_client(ClientPort port) {
 }
 
 void BroadcastMac::enqueue(Message msg) {
+  WDC_ASSERT(msg.is_broadcast() || msg.dest < ports_.size(),
+             "unicast ", to_string(msg.kind), " to unregistered client ", msg.dest);
   const auto k = static_cast<std::size_t>(msg.kind);
   kind_stats_[k].enqueued++;
   queues_[k].push_back(Queued{std::move(msg), sim_.now(), 0});
   try_start();
+  maybe_audit();
 }
 
 std::size_t BroadcastMac::queued(MsgKind kind) const {
@@ -94,11 +96,16 @@ void BroadcastMac::try_start() {
 }
 
 void BroadcastMac::finish() {
-  assert(current_.has_value());
+  WDC_ASSERT(current_.has_value(), "transmission-complete with no frame in flight");
   InFlight fl = std::move(*current_);
   current_.reset();
   busy_tw_.update(sim_.now(), 0.0);
 
+  WDC_ASSERT(fl.airtime_s > 0.0, "in-flight ", to_string(fl.q.msg.kind),
+             " frame with non-positive airtime ", fl.airtime_s);
+  WDC_ASSERT(fl.q.attempts == 0 || fl.q.attempts < cfg_.max_retx,
+             "frame finished retry ", fl.q.attempts, " past the ARQ cap ",
+             cfg_.max_retx);
   const auto k = static_cast<std::size_t>(fl.q.msg.kind);
   kind_stats_[k].transmitted++;
   kind_stats_[k].airtime_s += fl.airtime_s;
@@ -130,10 +137,55 @@ void BroadcastMac::finish() {
       queues_[k].push_front(std::move(fl.q));
     } else {
       kind_stats_[k].dropped++;
+      kind_stats_[k].completed++;
     }
+  } else {
+    kind_stats_[k].completed++;
   }
 
   try_start();
+  maybe_audit();
+}
+
+void BroadcastMac::maybe_audit() const {
+#if WDC_CHECKS_ENABLED
+  if ((++mutations_ % kAuditPeriod) == 0) audit();
+#endif
+}
+
+void BroadcastMac::audit() const {
+#if WDC_CHECKS_ENABLED
+  const auto in_flight_kind =
+      current_.has_value() ? static_cast<std::size_t>(current_->q.msg.kind)
+                           : kNumMsgKinds;
+  for (std::size_t k = 0; k < kNumMsgKinds; ++k) {
+    const auto& st = kind_stats_[k];
+    const std::uint64_t in_system =
+        queues_[k].size() + (k == in_flight_kind ? 1u : 0u);
+    // Conservation: every enqueued message is queued, in flight, or completed.
+    WDC_CHECK(st.enqueued == in_system + st.completed, to_string(MsgKind(k)),
+              ": enqueued=", st.enqueued, " but queued=", queues_[k].size(),
+              " + in-flight=", (k == in_flight_kind ? 1 : 0),
+              " + completed=", st.completed);
+    WDC_CHECK(st.dropped <= st.completed, to_string(MsgKind(k)), ": dropped=",
+              st.dropped, " exceeds completed=", st.completed);
+    WDC_CHECK(st.transmitted + in_system >= st.enqueued, to_string(MsgKind(k)),
+              ": transmitted=", st.transmitted, " too small for enqueued=",
+              st.enqueued, " with ", in_system, " in the system");
+    WDC_CHECK(st.queue_delay.count() <= st.enqueued, to_string(MsgKind(k)),
+              ": ", st.queue_delay.count(), " first-transmission samples for ",
+              st.enqueued, " enqueued messages");
+  }
+  // The busy-time tracker mirrors the transmitter slot.
+  WDC_CHECK((busy_tw_.current() != 0.0) == current_.has_value(),
+            "busy tracker at ", busy_tw_.current(), " with in-flight=",
+            current_.has_value());
+  if (current_.has_value())
+    WDC_CHECK(current_->q.msg.is_broadcast() ||
+                  current_->q.msg.dest < ports_.size(),
+              "in-flight unicast frame to unregistered client ",
+              current_->q.msg.dest);
+#endif
 }
 
 const MacKindStats& BroadcastMac::stats(MsgKind kind) const {

@@ -30,6 +30,7 @@
 #include "sim/simulator.hpp"
 #include "stats/summary.hpp"
 #include "stats/time_weighted.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace wdc {
@@ -54,6 +55,7 @@ struct ClientPort {
 struct MacKindStats {
   std::uint64_t enqueued = 0;
   std::uint64_t transmitted = 0;  ///< transmissions incl. retries
+  std::uint64_t completed = 0;    ///< messages leaving the MAC (delivered/abandoned)
   std::uint64_t dropped = 0;      ///< unicast frames abandoned after max_retx
   double airtime_s = 0.0;
   Bits bits = 0;
@@ -102,7 +104,17 @@ class BroadcastMac {
   /// Mean MCS index used for broadcast transmissions (rate-adaptation telemetry).
   const Summary& broadcast_mcs_used() const { return bcast_mcs_; }
 
+  /// Slot-accounting audit: every enqueued message is exactly one of queued,
+  /// in flight, or completed; drop/transmit counters stay consistent; the
+  /// busy-time tracker agrees with the in-flight slot. Trips a WDC_CHECK on
+  /// violation; no-op when checks are compiled out.
+  void audit() const;
+
  private:
+  /// Full audits are amortised: one every kAuditPeriod mutations.
+  static constexpr std::uint64_t kAuditPeriod = 64;
+
+  void maybe_audit() const;
   struct Queued {
     Message msg;
     SimTime enqueued_at;
@@ -137,6 +149,7 @@ class BroadcastMac {
   TimeWeighted busy_tw_;
   Summary bcast_mcs_;
   TxObserver tx_observer_;
+  mutable std::uint64_t mutations_ = 0;
 };
 
 }  // namespace wdc

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace wdc {
 
 // --------------------------------------------------------------------- server --
@@ -61,8 +63,27 @@ void ServerCbl::on_update(ItemId item, SimTime when) {
     ++notices_sent_;
     mac_.enqueue(std::move(msg));
   }
+  WDC_ASSERT(outstanding_ >= it->second.size(), "revoking ", it->second.size(),
+             " leases on item ", item, " with only ", outstanding_,
+             " outstanding");
   outstanding_ -= it->second.size();
   leases_.erase(it);
+  audit();
+}
+
+void ServerCbl::audit() const {
+#if WDC_CHECKS_ENABLED
+  std::size_t recorded = 0;
+  for (const auto& [item, holders] : leases_) {
+    WDC_CHECK(!holders.empty(), "item ", item,
+              " kept in the lease table with no holders");
+    recorded += holders.size();
+  }
+  WDC_CHECK(recorded == outstanding_, "outstanding-lease counter ", outstanding_,
+            " != ", recorded, " recorded holders");
+  WDC_CHECK(peak_leases_ >= outstanding_, "peak-lease watermark ", peak_leases_,
+            " below the current count ", outstanding_);
+#endif
 }
 
 // --------------------------------------------------------------------- client --

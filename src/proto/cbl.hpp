@@ -43,6 +43,11 @@ class ServerCbl final : public ServerProtocol {
   std::size_t outstanding_leases() const { return outstanding_; }
   std::uint64_t peak_leases() const { return peak_leases_; }
 
+  /// Lease-table audit: the outstanding counter equals the number of recorded
+  /// holders, no item maps to an empty holder set, and no recorded lease is for
+  /// an unregistered client. Trips a WDC_CHECK on violation.
+  void audit() const;
+
  protected:
   void decorate_item(Message& msg, ItemPayload& payload) override;
 
@@ -63,6 +68,10 @@ class ClientCbl final : public ClientProtocol {
 
   void on_query(ItemId item) override;
   void on_sleep_transition(bool awake) override;
+
+  /// Best-effort consistency: a notice lost to a fade or sleep yields a counted
+  /// stale serve — legitimate for CBL, so the no-stale-read audit is waived.
+  bool guarantees_consistency() const override { return false; }
 
  protected:
   void handle_control(const Message& msg) override;

@@ -1,7 +1,8 @@
 #include "proto/client_base.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace wdc {
 
@@ -270,9 +271,17 @@ void ClientProtocol::answer_pending(bool via_digest) {
 void ClientProtocol::record_hit_answer(SimTime qtime, ItemId item, Version version,
                                        SimTime consistency_time, bool via_digest) {
   const double latency = sim_.now() - qtime;
+  WDC_ASSERT(latency >= 0.0, "client ", id_, " answers item ", item,
+             " before its query: qtime=", qtime, " now=", sim_.now());
+  WDC_ASSERT(consistency_time <= sim_.now() + kEps, "client ", id_,
+             " certifies item ", item, " at a future consistency point ",
+             consistency_time, " (now=", sim_.now(), ")");
   // Staleness oracle: the answer claims to be the latest version as of the
   // consistency point that certified it.
   const bool stale = oracle_.version_at(item, consistency_time) != version;
+  WDC_CHECK(!stale || !guarantees_consistency(), "client ", id_,
+            " served a STALE hit for item ", item, ": held version ", version,
+            " != oracle version at consistency point ", consistency_time);
   sink_.record_answer(qtime, latency, /*hit=*/true, stale);
   if (via_digest) sink_.record_digest_answer();
 }
@@ -318,7 +327,12 @@ void ClientProtocol::complete_awaiting(ItemId item, Version version,
   for (auto& q : pending_) {
     if (!q.awaiting || q.item != item) continue;
     const double latency = sim_.now() - q.qtime;
+    WDC_ASSERT(latency >= 0.0, "client ", id_, " completes a fetch of item ",
+               item, " before its query: qtime=", q.qtime, " now=", sim_.now());
     const bool stale = oracle_.version_at(item, content_time) != version;
+    WDC_CHECK(!stale || !guarantees_consistency(), "client ", id_,
+              " served a STALE fetched copy of item ", item, ": version ",
+              version, " != oracle version at content time ", content_time);
     sink_.record_answer(q.qtime, latency, /*hit=*/false, stale);
     q.item = kInvalidItem;
   }

@@ -76,6 +76,12 @@ class ClientProtocol {
   SimTime consistency_point() const { return tc_; }
   std::size_t pending_queries() const { return pending_.size(); }
 
+  /// Whether this scheme promises zero stale answers. Every IR-family scheme
+  /// does; CBL is best-effort (lost notices open staleness windows) and opts
+  /// out. Under WDC checks, a stale answer from a guaranteeing scheme trips a
+  /// WDC_CHECK at answer time instead of merely counting in the stats.
+  virtual bool guarantees_consistency() const { return true; }
+
   /// True when the receiver is powered: awake, and — under selective tuning —
   /// inside a tuning window or fetching an item.
   bool radio_on() const;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/check.hpp"
+
 namespace wdc {
 
 ServerProtocol::ServerProtocol(Simulator& sim, BroadcastMac& mac, Database& db,
@@ -60,16 +62,23 @@ void ServerProtocol::attach_digest_to(Message& msg,
 
 std::shared_ptr<const FullReport> ServerProtocol::build_full_report(
     double window_s) const {
+  WDC_ASSERT(window_s > 0.0, "full report with non-positive window ", window_s);
   auto rep = std::make_shared<FullReport>();
   rep->stamp = sim_.now();
   rep->window_start = sim_.now() - window_s;
-  for (const ItemId id : db_.updated_between(rep->window_start, rep->stamp))
-    rep->updates.emplace_back(id, db_.last_update(id));
+  for (const ItemId id : db_.updated_between(rep->window_start, rep->stamp)) {
+    const SimTime at = db_.last_update(id);
+    WDC_CHECK(at <= rep->stamp, "report lists item ", id,
+              " updated in the future: ", at, " > stamp ", rep->stamp);
+    rep->updates.emplace_back(id, at);
+  }
   return rep;
 }
 
 std::shared_ptr<const MiniReport> ServerProtocol::build_mini_report(
     SimTime anchor) const {
+  WDC_ASSERT(anchor <= sim_.now(), "mini report anchored in the future: anchor=",
+             anchor, " now=", sim_.now());
   auto rep = std::make_shared<MiniReport>();
   rep->stamp = sim_.now();
   rep->anchor = anchor;
@@ -89,6 +98,9 @@ std::shared_ptr<const PiggyDigest> ServerProtocol::build_digest() const {
                           digest->updated.end() - cfg_.pig_max_ids);
     digest->complete = false;
   }
+  WDC_CHECK(!digest->complete || digest->updated.size() <= cfg_.pig_max_ids,
+            "complete digest with ", digest->updated.size(),
+            " ids over the capacity ", cfg_.pig_max_ids);
   return digest;
 }
 

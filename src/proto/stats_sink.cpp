@@ -3,11 +3,19 @@
 namespace wdc {
 
 void StatsSink::record_query(SimTime qtime) {
+  // Clients record queries synchronously from the event loop, so arrival times
+  // are non-decreasing across the whole population; a violation means some
+  // component time-travelled.
+  WDC_ASSERT(qtime >= last_query_time_, "query recorded at ", qtime,
+             " after one at ", last_query_time_);
+  last_query_time_ = qtime;
   if (!counted(qtime)) return;
   ++queries_;
 }
 
 void StatsSink::record_answer(SimTime qtime, double latency_s, bool hit, bool stale) {
+  WDC_ASSERT(latency_s >= 0.0, "negative answer latency ", latency_s,
+             " for a query at ", qtime);
   if (!counted(qtime)) return;
   ++answered_;
   latency_.add(latency_s);

@@ -11,6 +11,7 @@
 
 #include "stats/histogram.hpp"
 #include "stats/summary.hpp"
+#include "util/check.hpp"
 #include "util/types.hpp"
 
 namespace wdc {
@@ -77,6 +78,7 @@ class StatsSink {
   std::uint64_t false_invalidations_ = 0;
   std::uint64_t request_retries_ = 0;
   double listen_airtime_s_ = 0.0;
+  SimTime last_query_time_ = -kNever;  ///< audit: queries arrive in event order
   Summary latency_;
   Summary hit_latency_;
   Summary miss_latency_;

@@ -1,16 +1,18 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace wdc {
 
 EventId EventQueue::push(SimTime time, EventPriority prio, EventAction action) {
+  WDC_ASSERT(time >= last_pop_time_,
+             "push at t=", time, " behind last pop t=", last_pop_time_);
   const std::uint64_t seq = next_seq_++;
   heap_.push_back(detail::EventRecord{time, prio, seq, std::move(action), false});
   std::push_heap(heap_.begin(), heap_.end(), detail::EventLater{});
   pending_.insert(seq);
   ++live_;
+  maybe_audit();
   return EventId{seq};
 }
 
@@ -18,8 +20,9 @@ bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
   if (pending_.erase(id.seq) == 0) return false;  // already fired or never existed
   cancelled_.insert(id.seq);
-  assert(live_ > 0);
+  WDC_ASSERT(live_ > 0, "cancel of seq=", id.seq, " with live count 0");
   --live_;
+  maybe_audit();
   return true;
 }
 
@@ -43,14 +46,53 @@ SimTime EventQueue::next_time() const {
 
 detail::EventRecord EventQueue::pop() {
   drop_dead();
-  assert(!heap_.empty() && "EventQueue::pop on empty queue");
+  WDC_ASSERT(!heap_.empty(), "EventQueue::pop on empty queue");
   std::pop_heap(heap_.begin(), heap_.end(), detail::EventLater{});
   detail::EventRecord rec = std::move(heap_.back());
   heap_.pop_back();
+  WDC_ASSERT(pending_.count(rec.seq) > 0,
+             "popped seq=", rec.seq, " not in the pending set");
   pending_.erase(rec.seq);
-  assert(live_ > 0);
+  WDC_ASSERT(live_ > 0, "pop of seq=", rec.seq, " with live count 0");
   --live_;
+  WDC_ASSERT(rec.time >= last_pop_time_, "pop time went backwards: ", rec.time,
+             " after ", last_pop_time_, " (seq=", rec.seq, ")");
+  last_pop_time_ = rec.time;
+  maybe_audit();
   return rec;
+}
+
+void EventQueue::maybe_audit() const {
+#if WDC_CHECKS_ENABLED
+  if ((++mutations_ % kAuditPeriod) == 0) audit();
+#endif
+}
+
+void EventQueue::audit() const {
+#if WDC_CHECKS_ENABLED
+  WDC_CHECK(live_ == pending_.size(),
+            "live count ", live_, " != pending set size ", pending_.size());
+  WDC_CHECK(heap_.size() == pending_.size() + cancelled_.size(),
+            "heap holds ", heap_.size(), " records but pending=", pending_.size(),
+            " + cancelled=", cancelled_.size());
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const auto& rec = heap_[i];
+    const bool is_pending = pending_.count(rec.seq) > 0;
+    const bool is_cancelled = cancelled_.count(rec.seq) > 0;
+    WDC_CHECK(is_pending != is_cancelled, "heap seq=", rec.seq,
+              " must be exactly one of pending/cancelled (pending=", is_pending,
+              ", cancelled=", is_cancelled, ")");
+    if (is_pending)
+      WDC_CHECK(rec.time >= last_pop_time_, "pending seq=", rec.seq, " at t=",
+                rec.time, " is behind the last popped time ", last_pop_time_);
+    if (i > 0) {
+      const auto& parent = heap_[(i - 1) / 2];
+      WDC_CHECK(!detail::EventLater{}(parent, rec),
+                "heap order broken: parent seq=", parent.seq, " t=", parent.time,
+                " fires after child seq=", rec.seq, " t=", rec.time);
+    }
+  }
+#endif
 }
 
 }  // namespace wdc

@@ -7,14 +7,30 @@
 /// Cancellation marks the record via a side table and the heap skips dead records on
 /// pop — O(1) cancel, amortised cleanup, the standard trick for simulators with many
 /// timer cancellations (our protocols cancel deferred-IR timers frequently).
+///
+/// ## Invariants (audited under WDC_CHECKS_ENABLED)
+///  * bookkeeping: `live_ == pending_.size()` and
+///    `heap_.size() == pending_.size() + cancelled_.size()` — every heap record is
+///    exactly one of live or awaiting-removal;
+///  * heap order: every parent fires no later than its children (time, then
+///    priority, then insertion seq — the stable tie-break);
+///  * monotonic pop: the sequence of popped records never goes back in time;
+///  * no record earlier than the last popped time can be pending.
+/// Cheap O(1) slices run on every mutation; the full O(n) structural audit runs
+/// every `kAuditPeriod` mutations and on demand via audit().
 
 #include <cstddef>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/event.hpp"
+#include "util/check.hpp"
 
 namespace wdc {
+
+namespace detail {
+struct EventQueueTestPeer;  // white-box corruption hook for death tests
+}  // namespace detail
 
 class EventQueue {
  public:
@@ -33,14 +49,29 @@ class EventQueue {
   /// Remove and return the earliest live event. Caller must check !empty().
   detail::EventRecord pop();
 
+  /// Latest time handed out by pop() (-inf before the first pop).
+  SimTime last_pop_time() const { return last_pop_time_; }
+
+  /// Full structural audit; trips a WDC_CHECK on corruption. No-op when checks
+  /// are compiled out.
+  void audit() const;
+
  private:
+  friend struct detail::EventQueueTestPeer;
+
+  /// Full audits are amortised: one every kAuditPeriod mutations.
+  static constexpr std::uint64_t kAuditPeriod = 64;
+
   void drop_dead() const;
+  void maybe_audit() const;
 
   mutable std::vector<detail::EventRecord> heap_;
   std::unordered_set<std::uint64_t> pending_;    ///< seqs alive in heap_
   mutable std::unordered_set<std::uint64_t> cancelled_;  ///< seqs awaiting removal
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
+  SimTime last_pop_time_ = -kNever;
+  mutable std::uint64_t mutations_ = 0;
 };
 
 }  // namespace wdc

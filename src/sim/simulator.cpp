@@ -22,6 +22,8 @@ void Simulator::run_until(SimTime end) {
   stopped_ = false;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
     auto rec = queue_.pop();
+    WDC_ASSERT(rec.time >= now_, "clock would go backwards: popped t=", rec.time,
+               " with clock at ", now_);
     now_ = rec.time;
     ++executed_;
     rec.action();
@@ -33,6 +35,8 @@ void Simulator::run_all() {
   stopped_ = false;
   while (!stopped_ && !queue_.empty()) {
     auto rec = queue_.pop();
+    WDC_ASSERT(rec.time >= now_, "clock would go backwards: popped t=", rec.time,
+               " with clock at ", now_);
     now_ = rec.time;
     ++executed_;
     rec.action();

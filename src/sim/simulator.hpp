@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.hpp"
+#include "util/check.hpp"
 #include "util/types.hpp"
 
 namespace wdc {
@@ -52,11 +53,17 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Structural audit of the pending-event set (see EventQueue::audit()).
+  void audit() const { queue_.audit(); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  /// Publishes the clock to the check framework so a tripped invariant
+  /// anywhere in the model reports the simulation time.
+  CheckClockScope check_clock_{&now_};
 };
 
 }  // namespace wdc

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace wdc {
 
 void Summary::add(double x) {
+  // One NaN would silently poison every downstream mean/CI; fail loudly instead.
+  WDC_ASSERT(!std::isnan(x), "Summary::add(NaN) after ", n_, " samples");
   ++n_;
   const double delta = x - mean_;
   mean_ += delta / static_cast<double>(n_);

@@ -1,18 +1,20 @@
 #include "stats/time_weighted.hpp"
 
-#include <cassert>
+#include "util/check.hpp"
 
 namespace wdc {
 
 void TimeWeighted::update(SimTime t, double value) {
-  assert(t >= last_time_ && "TimeWeighted: time must not go backwards");
+  WDC_ASSERT(t >= last_time_, "TimeWeighted: time went backwards: ", t,
+             " after ", last_time_);
   area_ += value_ * (t - last_time_);
   last_time_ = t;
   value_ = value;
 }
 
 double TimeWeighted::average(SimTime t) const {
-  assert(t >= last_time_);
+  WDC_ASSERT(t >= last_time_, "TimeWeighted: average at ", t,
+             " before the last update at ", last_time_);
   const SimTime span = t - t0_;
   if (span <= 0.0) return value_;
   return (area_ + value_ * (t - last_time_)) / span;

@@ -1,0 +1,29 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wdc {
+namespace detail {
+
+namespace {
+thread_local const double* g_check_clock = nullptr;
+}  // namespace
+
+void set_check_clock(const double* now) { g_check_clock = now; }
+const double* check_clock() { return g_check_clock; }
+
+void check_failed(const char* kind, const char* cond, const char* file,
+                  int line, const char* func, const std::string& message) {
+  std::fflush(stdout);
+  std::fprintf(stderr, "\n*** WDC invariant violated: %s(%s)\n", kind, cond);
+  std::fprintf(stderr, "    at %s:%d in %s\n", file, line, func);
+  if (g_check_clock != nullptr)
+    std::fprintf(stderr, "    sim-time: %.9f s\n", *g_check_clock);
+  if (!message.empty()) std::fprintf(stderr, "    %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace wdc

@@ -1,0 +1,97 @@
+#ifndef WDC_UTIL_CHECK_HPP
+#define WDC_UTIL_CHECK_HPP
+
+/// @file check.hpp
+/// The invariant-audit framework: WDC_ASSERT / WDC_CHECK.
+///
+/// * `WDC_ASSERT(cond, ...)` — cheap O(1) precondition/bookkeeping checks on hot
+///   paths (replaces bare `assert`). The variadic tail is streamed into the
+///   diagnostic, so failures carry the offending values.
+/// * `WDC_CHECK(cond, ...)` — same contract, used by the dense structural audits
+///   (heap order, cache integrity, slot conservation). Semantically: ASSERT
+///   guards a call-site contract, CHECK states an internal invariant.
+///
+/// Both compile to real checks when `WDC_CHECKS_ENABLED` is 1 — that is, in
+/// Debug builds (NDEBUG undefined) and in any build configured with
+/// `-DWDC_CHECKED=ON` (the opt-in checked RelWithDebInfo mode) — and compile
+/// out to nothing otherwise. The condition stays inside an unevaluated
+/// `sizeof` in the compiled-out form so it keeps type-checking and cannot
+/// bit-rot.
+///
+/// A failed check prints a formatted diagnostic to stderr — condition, source
+/// location, the simulation clock of the enclosing Simulator (when one is
+/// running on this thread), and the streamed message — then aborts. Death
+/// tests match on the "WDC invariant violated" prefix.
+
+#include <sstream>
+#include <string>
+#include <utility>
+
+#if !defined(NDEBUG) || defined(WDC_CHECKED)
+#define WDC_CHECKS_ENABLED 1
+#else
+#define WDC_CHECKS_ENABLED 0
+#endif
+
+namespace wdc {
+namespace detail {
+
+/// Register the simulation clock of the Simulator running on this thread so
+/// check failures can report sim-time. Pass nullptr to unregister. Thread-local
+/// (replications run one Simulator per worker thread).
+void set_check_clock(const double* now);
+const double* check_clock();
+
+/// Print the diagnostic and abort. Always compiled (death tests and the audit
+/// tool exercise it regardless of build type).
+[[noreturn]] void check_failed(const char* kind, const char* cond,
+                               const char* file, int line, const char* func,
+                               const std::string& message);
+
+template <typename... Args>
+std::string check_message(Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+  }
+}
+
+}  // namespace detail
+
+/// RAII guard a Simulator uses to publish its clock for diagnostics.
+class CheckClockScope {
+ public:
+  explicit CheckClockScope(const double* now) : prev_(detail::check_clock()) {
+    detail::set_check_clock(now);
+  }
+  ~CheckClockScope() { detail::set_check_clock(prev_); }
+  CheckClockScope(const CheckClockScope&) = delete;
+  CheckClockScope& operator=(const CheckClockScope&) = delete;
+
+ private:
+  const double* prev_;
+};
+
+}  // namespace wdc
+
+#if WDC_CHECKS_ENABLED
+#define WDC_DETAIL_CHECK_IMPL(kind, cond, ...)                               \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::wdc::detail::check_failed(kind, #cond, __FILE__, __LINE__, __func__, \
+                                  ::wdc::detail::check_message(__VA_ARGS__)); \
+  } while (false)
+#else
+#define WDC_DETAIL_CHECK_IMPL(kind, cond, ...) \
+  do {                                         \
+    (void)sizeof((cond) ? 1 : 0);              \
+  } while (false)
+#endif
+
+#define WDC_ASSERT(cond, ...) WDC_DETAIL_CHECK_IMPL("WDC_ASSERT", cond, __VA_ARGS__)
+#define WDC_CHECK(cond, ...) WDC_DETAIL_CHECK_IMPL("WDC_CHECK", cond, __VA_ARGS__)
+
+#endif  // WDC_UTIL_CHECK_HPP

@@ -80,8 +80,9 @@ TEST(Fsmc, SnrDbMatchesStateRepresentative) {
   const double snr = f.snr_db(1.0);
   // The representative SNR must fall inside the state's threshold interval.
   EXPECT_GE(snr, f.threshold_db(s) - 1e-9);
-  if (!std::isinf(f.threshold_db(s + 1)))
+  if (!std::isinf(f.threshold_db(s + 1))) {
     EXPECT_LE(snr, f.threshold_db(s + 1) + 1e-9);
+  }
 }
 
 TEST(Fsmc, BoundaryStatesHaveOneWayTransitions) {

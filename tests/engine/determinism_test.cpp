@@ -34,7 +34,9 @@ TEST_P(ProtocolDeterminism, SameSeedSameRun) {
   // CBL is deliberately best-effort (stale serves possible); determinism still
   // requires both runs to agree on the count.
   EXPECT_EQ(a.stale_serves, b.stale_serves);
-  if (GetParam() != ProtocolKind::kCbl) EXPECT_EQ(a.stale_serves, 0u);
+  if (GetParam() != ProtocolKind::kCbl) {
+    EXPECT_EQ(a.stale_serves, 0u);
+  }
 }
 
 TEST_P(ProtocolDeterminism, WifiRadioAlsoRuns) {
@@ -48,15 +50,17 @@ TEST_P(ProtocolDeterminism, WifiRadioAlsoRuns) {
   s.warmup_s = 50.0;
   const Metrics m = run_scenario(s);
   EXPECT_GT(m.answered, 0u);
-  if (GetParam() != ProtocolKind::kCbl) EXPECT_EQ(m.stale_serves, 0u);
+  if (GetParam() != ProtocolKind::kCbl) {
+    EXPECT_EQ(m.stale_serves, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     AllProtocolsAndBaselines, ProtocolDeterminism,
     ::testing::ValuesIn(std::begin(kAllProtocolsAndBaselines),
                         std::end(kAllProtocolsAndBaselines)),
-    [](const ::testing::TestParamInfo<ProtocolKind>& info) {
-      return to_string(info.param);
+    [](const ::testing::TestParamInfo<ProtocolKind>& tpi) {
+      return to_string(tpi.param);
     });
 
 }  // namespace

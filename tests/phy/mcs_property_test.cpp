@@ -41,7 +41,9 @@ TEST_P(McsTableProperties, BlerMonotoneInSnrForEveryScheme) {
       // Strictly decreasing except where the logistic saturates at 1.0 in
       // double precision (deep below gamma50).
       ASSERT_LE(b, prev) << t[i].name << " at " << snr;
-      if (prev < 1.0 - 1e-9) ASSERT_LT(b, prev) << t[i].name << " at " << snr;
+      if (prev < 1.0 - 1e-9) {
+        ASSERT_LT(b, prev) << t[i].name << " at " << snr;
+      }
       ASSERT_GE(b, 0.0);
       ASSERT_LE(b, 1.0);
       prev = b;
@@ -85,7 +87,9 @@ TEST_P(McsTableProperties, AirtimeMonotoneInBitsAndScheme) {
   const McsTable t = GetParam().make();
   for (std::size_t i = 0; i < t.size(); ++i) {
     ASSERT_LT(t.airtime_s(100, i), t.airtime_s(10000, i));
-    if (i > 0) ASSERT_LT(t.airtime_s(10000, i), t.airtime_s(10000, i - 1));
+    if (i > 0) {
+      ASSERT_LT(t.airtime_s(10000, i), t.airtime_s(10000, i - 1));
+    }
   }
 }
 
@@ -106,8 +110,8 @@ INSTANTIATE_TEST_SUITE_P(AllTables, McsTableProperties,
                                            TableCase{"edge1", &make_edge1},
                                            TableCase{"wifi11b", &make_wifi},
                                            TableCase{"simple3", &make_simple}),
-                         [](const ::testing::TestParamInfo<TableCase>& info) {
-                           return std::string(info.param.name);
+                         [](const ::testing::TestParamInfo<TableCase>& tpi) {
+                           return std::string(tpi.param.name);
                          });
 
 }  // namespace

@@ -79,7 +79,9 @@ TEST(McsTable, BestForRespectsTarget) {
   for (const double snr : {5.0, 12.0, 20.0}) {
     const std::size_t i = t.best_for(snr, 0.1);
     EXPECT_LE(t[i].bler(snr), 0.1);
-    if (i + 1 < t.size()) EXPECT_GT(t[i + 1].bler(snr), 0.1);
+    if (i + 1 < t.size()) {
+      EXPECT_GT(t[i + 1].bler(snr), 0.1);
+    }
   }
 }
 

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+/// Cancellation-stress test against a naive reference model, plus death tests
+/// proving the structural audit catches seeded corruption. The corruption is
+/// injected through detail::EventQueueTestPeer (a friend of EventQueue), so
+/// these tests reach the private heap without loosening the public API.
+
+namespace wdc {
+namespace detail {
+
+struct EventQueueTestPeer {
+  /// Make the last heap slot earlier than its parent: a heap-order violation.
+  static void break_heap_order(EventQueue& q) { q.heap_.back().time = -1e18; }
+  /// Claim one more live event than the pending set holds.
+  static void inflate_live_count(EventQueue& q) { ++q.live_; }
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Mirror of one scheduled event as the reference model sees it.
+struct Ref {
+  double time;
+  EventPriority prio;
+  std::uint64_t seq;
+  EventId id;
+  bool alive;
+};
+
+/// Earliest-first, the kernel's exact tie-break (time, priority, seq).
+bool fires_before(const Ref& a, const Ref& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.prio != b.prio) return a.prio < b.prio;
+  return a.seq < b.seq;
+}
+
+TEST(EventQueueStress, RandomPushCancelPopMatchesReferenceModel) {
+  EventQueue q;
+  Rng rng(2024);
+  std::vector<Ref> model;
+  std::uint64_t next_seq = 0;
+  std::size_t live = 0;
+  double last_pop = 0.0;
+
+  const auto count_alive = [&] {
+    return static_cast<std::size_t>(
+        std::count_if(model.begin(), model.end(),
+                      [](const Ref& r) { return r.alive; }));
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const double u = rng.uniform();
+    if (u < 0.5) {
+      // Push. New events must not land before the pop frontier.
+      const double t = last_pop + rng.uniform(0.0, 10.0);
+      const auto prio = static_cast<EventPriority>(rng.uniform_int(6));
+      const EventId id = q.push(t, prio, [] {});
+      model.push_back({t, prio, next_seq++, id, true});
+      ++live;
+    } else if (u < 0.75) {
+      // Cancel a random model entry; dead entries must be rejected.
+      if (model.empty()) continue;
+      Ref& r = model[static_cast<std::size_t>(
+          rng.uniform_int(model.size()))];
+      EXPECT_EQ(q.cancel(r.id), r.alive);
+      if (r.alive) {
+        r.alive = false;
+        --live;
+      }
+    } else {
+      // Pop; must match the earliest alive entry exactly.
+      if (live == 0) {
+        EXPECT_TRUE(q.empty());
+        continue;
+      }
+      auto best = model.end();
+      for (auto it = model.begin(); it != model.end(); ++it)
+        if (it->alive && (best == model.end() || fires_before(*it, *best)))
+          best = it;
+      const auto rec = q.pop();
+      EXPECT_DOUBLE_EQ(rec.time, best->time);
+      EXPECT_EQ(rec.prio, best->prio);
+      EXPECT_GE(rec.time, last_pop);
+      last_pop = rec.time;
+      best->alive = false;
+      --live;
+    }
+    ASSERT_EQ(q.size(), live);
+    if (step % 500 == 0) {
+      ASSERT_EQ(live, count_alive());
+      q.audit();
+    }
+  }
+
+  // Drain what's left; order must stay monotone and the count must agree.
+  q.audit();
+  std::size_t drained = 0;
+  while (!q.empty()) {
+    const auto rec = q.pop();
+    EXPECT_GE(rec.time, last_pop);
+    last_pop = rec.time;
+    ++drained;
+  }
+  EXPECT_EQ(drained, live);
+  EXPECT_EQ(q.next_time(), kNever);
+}
+
+TEST(EventQueueStress, CancelHeavyChurnKeepsBookkeeping) {
+  EventQueue q;
+  Rng rng(77);
+  // Waves of schedule-then-cancel, the deferred-IR timer pattern: most events
+  // never fire, so the lazy-cancellation side table does the heavy lifting.
+  for (int wave = 0; wave < 50; ++wave) {
+    std::vector<EventId> ids;
+    const double base = std::max(q.last_pop_time(), 0.0);
+    for (int i = 0; i < 200; ++i)
+      ids.push_back(q.push(base + rng.uniform(0.0, 5.0),
+                           EventPriority::kProtocol, [] {}));
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      if (i % 4 != 0) {
+        EXPECT_TRUE(q.cancel(ids[i]));
+      }
+    // Fire roughly half of the survivors.
+    const std::size_t target = q.size() / 2;
+    for (std::size_t i = 0; i < target; ++i) q.pop();
+    q.audit();
+  }
+}
+
+using EventQueueDeathTest = ::testing::Test;
+
+TEST(EventQueueDeathTest, AuditCatchesHeapOrderCorruption) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        for (int i = 0; i < 8; ++i)
+          q.push(1.0 + i, EventPriority::kDefault, [] {});
+        detail::EventQueueTestPeer::break_heap_order(q);
+        q.audit();
+      },
+      "WDC invariant violated");
+#endif
+}
+
+TEST(EventQueueDeathTest, AuditCatchesLiveCountCorruption) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.push(1.0, EventPriority::kDefault, [] {});
+        detail::EventQueueTestPeer::inflate_live_count(q);
+        q.audit();
+      },
+      "WDC invariant violated");
+#endif
+}
+
+TEST(EventQueueDeathTest, PopOnEmptyTripsAssert) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.pop();
+      },
+      "WDC invariant violated");
+#endif
+}
+
+TEST(EventQueueDeathTest, PushBeforePopFrontierTripsAssert) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.push(5.0, EventPriority::kDefault, [] {});
+        q.pop();
+        q.push(1.0, EventPriority::kDefault, [] {});  // behind the frontier
+      },
+      "WDC invariant violated");
+#endif
+}
+
+}  // namespace
+}  // namespace wdc

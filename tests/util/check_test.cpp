@@ -1,0 +1,108 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/time_weighted.hpp"
+
+/// Unit tests for the WDC_CHECK/WDC_ASSERT framework itself: message
+/// assembly, the thread-local clock registration, the enabled/disabled macro
+/// contract, and the death-on-violation behaviour the rest of the test suite
+/// relies on.
+
+namespace wdc {
+namespace {
+
+TEST(Check, EnabledFlagTracksBuildConfiguration) {
+#if defined(WDC_CHECKED)
+  EXPECT_EQ(WDC_CHECKS_ENABLED, 1);
+#elif defined(NDEBUG)
+  EXPECT_EQ(WDC_CHECKS_ENABLED, 0);
+#else
+  EXPECT_EQ(WDC_CHECKS_ENABLED, 1);
+#endif
+}
+
+TEST(Check, MessageAssemblyStreamsAllArguments) {
+  EXPECT_EQ(detail::check_message(), "");
+  EXPECT_EQ(detail::check_message("x=", 3), "x=3");
+  EXPECT_EQ(detail::check_message("t=", 1.5, "s after ", 7, " events"),
+            "t=1.5s after 7 events");
+}
+
+TEST(Check, PassingConditionsAreSilent) {
+  WDC_ASSERT(true);
+  WDC_ASSERT(1 + 1 == 2, "math broke: ", 1 + 1);
+  WDC_CHECK(true, "never printed");
+}
+
+TEST(Check, ConditionIsUnevaluatedWhenCompiledOut) {
+  int evaluations = 0;
+  WDC_ASSERT((++evaluations, true));
+  WDC_CHECK((++evaluations, true));
+#if WDC_CHECKS_ENABLED
+  EXPECT_EQ(evaluations, 2);
+#else
+  EXPECT_EQ(evaluations, 0);
+#endif
+}
+
+TEST(Check, ClockScopeRegistersAndRestores) {
+  const double* initial = detail::check_clock();
+  const double outer = 1.0;
+  {
+    CheckClockScope a(&outer);
+    EXPECT_EQ(detail::check_clock(), &outer);
+    const double inner = 2.0;
+    {
+      CheckClockScope b(&inner);
+      EXPECT_EQ(detail::check_clock(), &inner);
+    }
+    EXPECT_EQ(detail::check_clock(), &outer);
+  }
+  EXPECT_EQ(detail::check_clock(), initial);
+}
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureCarriesConditionAndMessage) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  const int got = 3;
+  EXPECT_DEATH(WDC_ASSERT(got == 4, "got ", got, ", wanted 4"),
+               "WDC invariant violated: WDC_ASSERT\\(got == 4\\)");
+  EXPECT_DEATH(WDC_ASSERT(got == 4, "got ", got, ", wanted 4"),
+               "got 3, wanted 4");
+#endif
+}
+
+TEST(CheckDeathTest, FailureReportsSimTimeWhenClockRegistered) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        const double now = 42.25;
+        CheckClockScope scope(&now);
+        WDC_CHECK(false, "tripped on purpose");
+      },
+      "sim-time: 42\\.25");
+#endif
+}
+
+TEST(CheckDeathTest, TimeWeightedRejectsBackwardsUpdate) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        TimeWeighted tw(0.0, 1.0);
+        tw.update(5.0, 2.0);
+        tw.update(3.0, 0.0);  // time went backwards
+      },
+      "WDC invariant violated");
+#endif
+}
+
+}  // namespace
+}  // namespace wdc
