@@ -1,0 +1,67 @@
+/// @file micro_sweep.cpp
+/// Grid-execution microbenchmark: the same small sweep at threads=1 vs all
+/// hardware threads. This times the engine's ability to keep the whole
+/// (variant × point × replication) grid wall-clock-parallel — the number the
+/// BENCH_sweep.json trajectory tracks across PRs.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/sweep.hpp"
+#include "sweeps/sweeps.hpp"
+
+namespace {
+
+using namespace wdc;
+
+/// A miniature FIG-1-shaped grid: 3 protocols × 3 points × 2 replications of a
+/// short scenario — 18 tasks, enough to expose cross-cell parallelism.
+SweepSpec micro_spec() {
+  SweepSpec s;
+  s.key = "micro";
+  s.id = "MICRO";
+  s.title = "grid execution microbenchmark";
+  s.axis = {"L (s)",
+            {5.0, 10.0, 20.0},
+            [](Scenario& sc, double L) { sc.proto.ir_interval_s = L; }};
+  s.variants = protocol_variants(
+      {ProtocolKind::kTs, ProtocolKind::kUir, ProtocolKind::kHyb});
+  s.series = {{"mean query latency (s)", "",
+               [](const Metrics& m) { return m.mean_latency_s; }, 3}};
+  return s;
+}
+
+Scenario micro_base() {
+  Scenario s = sweeps::default_scenario();
+  s.num_clients = 10;
+  s.sim_time_s = 200.0;
+  s.warmup_s = 40.0;
+  return s;
+}
+
+/// range(0) = worker threads over the grid (0 = all hardware threads).
+void BM_SweepGrid(benchmark::State& state) {
+  const SweepSpec spec = micro_spec();
+  SweepOptions opts;
+  opts.reps = 2;
+  opts.threads = static_cast<unsigned>(state.range(0));
+  opts.base = micro_base();
+  std::size_t cells = 0;
+  for (auto _ : state) {
+    const auto grid = run_sweep(spec, opts);
+    cells = grid.cells.size();
+    benchmark::DoNotOptimize(grid.cells.data());
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["tasks"] =
+      static_cast<double>(cells) * static_cast<double>(opts.reps);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SweepGrid)
+    ->Arg(1)   // serial reference
+    ->Arg(0)   // all hardware threads
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

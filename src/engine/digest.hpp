@@ -1,0 +1,32 @@
+#ifndef WDC_ENGINE_DIGEST_HPP
+#define WDC_ENGINE_DIGEST_HPP
+
+/// @file digest.hpp
+/// FNV-1a fingerprints of Metrics records, shared by the determinism tooling
+/// (tools/wdc_audit), the sweep engine's regression tests, and anything else
+/// that compares runs bit-for-bit. Hashing walks the fields explicitly (never
+/// raw struct bytes) so padding can never alias into the digest.
+
+#include <cstdint>
+
+namespace wdc {
+
+struct Metrics;
+
+/// Incremental FNV-1a 64-bit hasher over 64-bit words.
+class Fnv1aDigest {
+ public:
+  void mix(std::uint64_t v);
+  void mix(double v);
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// Digest over every field of a Metrics record.
+std::uint64_t metrics_digest(const Metrics& m);
+
+}  // namespace wdc
+
+#endif  // WDC_ENGINE_DIGEST_HPP

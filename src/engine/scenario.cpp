@@ -41,7 +41,11 @@ McsTable Scenario::make_mcs_table() const {
 }
 
 Scenario Scenario::from_config(const Config& c) {
-  Scenario s;
+  return from_config(c, Scenario{});
+}
+
+Scenario Scenario::from_config(const Config& c, const Scenario& base) {
+  Scenario s = base;
   s.seed = static_cast<std::uint64_t>(c.get_int("seed", static_cast<std::int64_t>(s.seed)));
   s.sim_time_s = c.get_double("sim_time", s.sim_time_s);
   s.warmup_s = c.get_double("warmup", s.warmup_s);
@@ -49,7 +53,9 @@ Scenario Scenario::from_config(const Config& c) {
   s.num_clients = static_cast<std::uint32_t>(c.get_int("clients", s.num_clients));
 
   s.db.num_items = static_cast<std::uint32_t>(c.get_int("items", s.db.num_items));
-  s.db.item_bits = static_cast<Bits>(c.get_int("item_bytes", 1024)) * 8;
+  s.db.item_bits =
+      static_cast<Bits>(c.get_int(
+          "item_bytes", static_cast<std::int64_t>(s.db.item_bits / 8))) * 8;
   s.db.item_size_sigma = c.get_double("item_size_sigma", s.db.item_size_sigma);
   s.db.update_rate = c.get_double("update_rate", s.db.update_rate);
   s.db.hot_items = static_cast<std::uint32_t>(c.get_int("hot_items", s.db.hot_items));
@@ -69,7 +75,10 @@ Scenario Scenario::from_config(const Config& c) {
   s.traffic.model =
       traffic_model_from_string(c.get_string("traffic_model", to_string(s.traffic.model)));
   s.traffic.offered_bps = c.get_double("traffic_bps", s.traffic.offered_bps);
-  s.traffic.frame_bits = static_cast<Bits>(c.get_int("traffic_frame_bytes", 500)) * 8;
+  s.traffic.frame_bits =
+      static_cast<Bits>(c.get_int(
+          "traffic_frame_bytes",
+          static_cast<std::int64_t>(s.traffic.frame_bits / 8))) * 8;
   s.traffic.pareto_alpha = c.get_double("traffic_pareto_alpha", s.traffic.pareto_alpha);
   s.traffic.burst_mean_frames =
       c.get_double("traffic_burst_frames", s.traffic.burst_mean_frames);

@@ -76,6 +76,12 @@ struct Scenario {
   /// are left for the caller to report via Config::unused_keys().
   static Scenario from_config(const Config& cfg);
 
+  /// Same, but each override lands on top of `base` — the single-source-of-
+  /// truth path for harnesses whose defaults differ from Scenario's (the
+  /// bench-scale operating point of sweeps::default_scenario()). Keys absent
+  /// from `cfg` keep base's values exactly; no key=value round-trip.
+  static Scenario from_config(const Config& cfg, const Scenario& base);
+
   /// Validate cross-field invariants; throws std::invalid_argument on nonsense
   /// (e.g. a TS window smaller than the report period).
   void validate() const;

@@ -1,0 +1,28 @@
+/// FIG-1 — Mean query latency vs IR interval L.
+///
+/// The canonical first figure of every IR-scheme paper: latency grows ≈ L/2 for
+/// report-bound schemes; UIR flattens it by ≈ m; PIG/HYB flatten it further by
+/// answering at ambient-traffic timescales. Expected shape: TS/AT/SIG linear in
+/// L, UIR linear with slope/m, HYB nearly flat while traffic provides digests.
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec fig1() {
+  SweepSpec s;
+  s.key = "fig1";
+  s.id = "FIG-1";
+  s.title = "mean query latency vs IR interval L";
+  s.axis = {"L (s)",
+            {5.0, 10.0, 20.0, 40.0, 60.0},
+            [](Scenario& sc, double L) { sc.proto.ir_interval_s = L; }};
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kAt,
+                                  ProtocolKind::kUir, ProtocolKind::kPig,
+                                  ProtocolKind::kHyb});
+  s.series = {{"mean query latency (s)", "",
+               [](const Metrics& m) { return m.mean_latency_s; }, 3}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

@@ -1,0 +1,63 @@
+/// FIG-10 — Selective tuning: the energy/latency frontier.
+///
+/// For each protocol, run always-on vs selectively-tuned radios and report the
+/// radio-on fraction (energy) against mean latency. Expected shape: tuning cuts
+/// radio-on time to ≈ (guard+rx)/L for the grid schemes at (nearly) unchanged
+/// latency for TS/UIR; PIG/HYB lose their early-answer advantage when dozing
+/// (latency reverts toward TS) — energy and digest-responsiveness trade off.
+/// LAIR's deferral window inflates the tuned listening budget: the hidden cost
+/// of report sliding.
+
+#include <ostream>
+
+#include "stats/table.hpp"
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+namespace {
+
+const MetricField kRadioOn = [](const Metrics& m) { return m.radio_on_frac; };
+const MetricField kLatency = [](const Metrics& m) { return m.mean_latency_s; };
+
+/// Paired-column table: one row per protocol, always-on vs tuned side by side
+/// (the grid's axis is the tuning flag).
+void render_fig10(const SweepSpec&, const SweepGrid& grid, std::ostream& os,
+                  const SweepRenderCtx& ctx) {
+  Table t({"protocol", "radio-on (always)", "latency (always)",
+           "radio-on (tuned)", "latency (tuned)"});
+  for (std::size_t v = 0; v < grid.num_variants(); ++v) {
+    t.begin_row();
+    t.cell(grid.variant_names[v]);
+    for (const std::size_t tuned : {std::size_t{0}, std::size_t{1}}) {
+      t.cell(grid.ci(v, tuned, kRadioOn).mean, 3);
+      t.cell(grid.ci(v, tuned, kLatency).mean, 2);
+    }
+  }
+  t.print_text(os, "  ");
+  if (!ctx.csv.empty() && t.write_csv(ctx.csv))
+    os << "\n  [csv written to " << ctx.csv << "]\n";
+  os << "\n";
+}
+
+}  // namespace
+
+SweepSpec fig10() {
+  SweepSpec s;
+  s.key = "fig10";
+  s.id = "FIG-10";
+  s.title = "selective tuning: radio-on time vs latency";
+  s.axis = {"tuned",
+            {0.0, 1.0},
+            [](Scenario& sc, double tuned) {
+              sc.proto.selective_tuning = tuned != 0.0;
+            }};
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kUir,
+                                  ProtocolKind::kLair, ProtocolKind::kHyb});
+  s.series = {{"radio-on fraction", "radio_", kRadioOn, 3},
+              {"mean query latency (s)", "latency_", kLatency, 2}};
+  s.render = render_fig10;
+  return s;
+}
+
+}  // namespace wdc::sweeps

@@ -1,0 +1,29 @@
+/// FIG-2 — Cache hit ratio vs server update rate.
+///
+/// Expected shape: all schemes decay monotonically as updates invalidate cached
+/// copies faster than clients re-reference them. AT sits below TS (drops under
+/// any report loss); SIG tracks TS minus its false-invalidation tax; the digest
+/// schemes match TS (hit ratio is governed by invalidation, which they do not
+/// change) — their win is latency, not hit ratio (FIG-1).
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec fig2() {
+  SweepSpec s;
+  s.key = "fig2";
+  s.id = "FIG-2";
+  s.title = "cache hit ratio vs update rate";
+  s.axis = {"updates/s",
+            {0.05, 0.2, 0.5, 1.0, 2.0, 5.0},
+            [](Scenario& sc, double u) { sc.db.update_rate = u; }};
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kAt,
+                                  ProtocolKind::kSig, ProtocolKind::kUir,
+                                  ProtocolKind::kHyb});
+  s.series = {{"cache hit ratio", "",
+               [](const Metrics& m) { return m.hit_ratio; }, 4}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

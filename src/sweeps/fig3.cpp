@@ -1,0 +1,28 @@
+/// FIG-3 — Latency and hit ratio vs per-client query rate.
+///
+/// Expected shape: hit ratio *rises* with query rate (more re-references
+/// between updates), so latency falls slightly until the miss traffic loads the
+/// downlink, after which item-queueing pushes latency back up.
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec fig3() {
+  SweepSpec s;
+  s.key = "fig3";
+  s.id = "FIG-3";
+  s.title = "latency & hit ratio vs per-client query rate";
+  s.axis = {"q/s/client",
+            {0.02, 0.05, 0.1, 0.2, 0.4},
+            [](Scenario& sc, double q) { sc.query.rate = q; }};
+  s.variants = protocol_variants(
+      {ProtocolKind::kTs, ProtocolKind::kUir, ProtocolKind::kHyb});
+  s.series = {{"mean query latency (s)", "latency_",
+               [](const Metrics& m) { return m.mean_latency_s; }, 3},
+              {"cache hit ratio", "hits_",
+               [](const Metrics& m) { return m.hit_ratio; }, 4}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

@@ -1,0 +1,36 @@
+/// FIG-4 — Signalling overhead vs update rate: uplink requests per query and
+/// report bits on the downlink.
+///
+/// Expected shape: requests/query grow with update rate for every scheme (more
+/// invalidations ⇒ more misses). Report bits grow linearly for TS/AT/UIR
+/// (entries per report ∝ updates), stay FLAT for SIG (fixed signature budget —
+/// the two curves must cross), and grow for PIG/HYB via digest bits.
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec fig4() {
+  SweepSpec s;
+  s.key = "fig4";
+  s.id = "FIG-4";
+  s.title = "signalling overhead vs update rate";
+  s.axis = {"updates/s",
+            {0.1, 0.5, 1.0, 2.0, 5.0},
+            [](Scenario& sc, double u) { sc.db.update_rate = u; }};
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kSig,
+                                  ProtocolKind::kUir, ProtocolKind::kHyb});
+  s.series = {{"uplink requests per answered query", "uplink_",
+               [](const Metrics& m) { return m.uplink_per_query; }, 3},
+              {"signalling load on the downlink (kbit/s, reports + digests)",
+               "bits_",
+               [](const Metrics& m) {
+                 return (static_cast<double>(m.report_bits) +
+                         static_cast<double>(m.piggyback_bits)) /
+                        m.measured_s / 1000.0;
+               },
+               3}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

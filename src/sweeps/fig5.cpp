@@ -1,0 +1,33 @@
+/// FIG-5 — The *downlink traffic* axis: query latency and data-frame queueing
+/// delay vs offered background downlink load.
+///
+/// Expected shape: report-bound schemes (TS/UIR) degrade as data traffic delays
+/// item broadcasts; PIG/HYB *improve* relative to them — every data frame is a
+/// consistency point, so more traffic means earlier answers. The crossover
+/// between UIR and PIG as load grows is the figure's story. Data queue delay
+/// grows for everyone (strict priority: reports pre-empt data).
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec fig5() {
+  SweepSpec s;
+  s.key = "fig5";
+  s.id = "FIG-5";
+  s.title = "impact of downlink traffic load";
+  s.axis = {"load kb/s",
+            {0.0, 10.0, 20.0, 40.0, 60.0},
+            [](Scenario& sc, double kbps) {
+              sc.traffic.offered_bps = kbps * 1000.0;
+            }};
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kUir,
+                                  ProtocolKind::kPig, ProtocolKind::kHyb});
+  s.series = {{"mean query latency (s)", "latency_",
+               [](const Metrics& m) { return m.mean_latency_s; }, 3},
+              {"background data frame queueing delay (s)", "qdelay_",
+               [](const Metrics& m) { return m.data_queue_delay_s; }, 3}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

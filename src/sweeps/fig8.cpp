@@ -1,0 +1,34 @@
+/// FIG-8 — Disconnection tolerance: hit ratio and cache drops vs sleep ratio.
+///
+/// Expected shape: AT collapses first (any missed report ⇒ drop), TS survives
+/// until sleeps exceed w·L, SIG survives longest (huge window) at its constant
+/// overhead, UIR tracks TS. Cache-drop counts make the mechanism visible.
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec fig8() {
+  SweepSpec s;
+  s.key = "fig8";
+  s.id = "FIG-8";
+  s.title = "impact of client disconnection (sleep)";
+  s.adjust_base = [](Scenario& sc) {
+    sc.sleep.mean_sleep_s = 80.0;  // comparable to TS window w·L = 60
+  };
+  s.axis = {"sleep ratio",
+            {0.0, 0.1, 0.2, 0.3, 0.5},
+            [](Scenario& sc, double r) { sc.sleep.sleep_ratio = r; }};
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kAt,
+                                  ProtocolKind::kSig, ProtocolKind::kUir});
+  s.series = {{"cache hit ratio", "hits_",
+               [](const Metrics& m) { return m.hit_ratio; }, 4},
+              {"cache drops (total across clients)", "drops_",
+               [](const Metrics& m) {
+                 return static_cast<double>(m.cache_drops);
+               },
+               1}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

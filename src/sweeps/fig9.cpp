@@ -1,0 +1,31 @@
+/// FIG-9 — Energy proxy: client listen-airtime per answered query, as the IR
+/// interval varies.
+///
+/// Expected shape: longer intervals mean less report airtime but longer waits
+/// (during which awake clients keep listening to item/data traffic), so the
+/// energy per query exhibits the classic U/monotone trade-off. SIG pays the
+/// most (big fixed reports); HYB's digests come almost free (they ride on
+/// frames clients would have received anyway).
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec fig9() {
+  SweepSpec s;
+  s.key = "fig9";
+  s.id = "FIG-9";
+  s.title = "listen airtime per query (energy proxy)";
+  s.axis = {"L (s)",
+            {5.0, 10.0, 20.0, 40.0},
+            [](Scenario& sc, double L) { sc.proto.ir_interval_s = L; }};
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kSig,
+                                  ProtocolKind::kUir, ProtocolKind::kHyb});
+  s.series = {{"listen airtime per answered query (s)", "",
+               [](const Metrics& m) { return m.listen_airtime_per_query; }, 4},
+              {"report airtime fraction of the downlink", "overhead_",
+               [](const Metrics& m) { return m.report_overhead_frac; }, 5}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

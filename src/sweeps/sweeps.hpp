@@ -1,0 +1,57 @@
+#ifndef WDC_SWEEPS_SWEEPS_HPP
+#define WDC_SWEEPS_SWEEPS_HPP
+
+/// @file sweeps.hpp
+/// The reconstructed evaluation as data: every figure/table of EXPERIMENTS.md
+/// is one SweepSpec registration, executed by the shared grid engine
+/// (engine/sweep.hpp). The wdc_bench driver runs them at the bench-scale
+/// operating point; the shape-regression tests (tests/shapes) re-instantiate
+/// the very same specs at a scaled-down point and assert the qualitative
+/// claims.
+
+#include <string>
+#include <vector>
+
+#include "engine/sweep.hpp"
+
+namespace wdc {
+
+class Config;
+
+namespace sweeps {
+
+/// Bench-scale default operating point: small enough that a full sweep
+/// finishes in tens of seconds on one core, large enough that orderings are
+/// stable. The single source of truth for every harness default.
+Scenario default_scenario();
+
+/// reps/threads plus the base scenario with `cfg` overrides applied — each
+/// override lands exactly once, via Scenario::from_config on top of
+/// default_scenario() (no intermediate key=value round-trip).
+SweepOptions options_from_config(const Config& cfg);
+
+/// Every registered figure/table sweep, in EXPERIMENTS.md order.
+const std::vector<SweepSpec>& all();
+
+/// Find a spec by driver key ("fig1" … "fig10", "tab1" … "tab3").
+const SweepSpec* find(const std::string& key);
+
+// One maker per reconstructed figure/table; registry.cpp assembles them.
+SweepSpec fig1();   ///< latency vs IR interval L
+SweepSpec fig2();   ///< hit ratio vs update rate
+SweepSpec fig3();   ///< latency & hit ratio vs query rate
+SweepSpec fig4();   ///< signalling overhead vs update rate
+SweepSpec fig5();   ///< impact of downlink traffic load
+SweepSpec fig6();   ///< impact of mean SNR and link adaptation
+SweepSpec fig7();   ///< LAIR gain vs Doppler
+SweepSpec fig8();   ///< impact of client disconnection (sleep)
+SweepSpec fig9();   ///< listen airtime per query (energy proxy)
+SweepSpec fig10();  ///< selective tuning: radio-on time vs latency
+SweepSpec tab1();   ///< protocol summary at the default operating point
+SweepSpec tab2();   ///< HYB ablation
+SweepSpec tab3();   ///< IR schemes vs non-IR baselines
+
+}  // namespace sweeps
+}  // namespace wdc
+
+#endif  // WDC_SWEEPS_SWEEPS_HPP

@@ -1,0 +1,74 @@
+/// TAB-1 — All seven protocols at the default operating point: every headline
+/// metric with 95% confidence intervals. The table a reviewer reads first.
+
+#include <ostream>
+
+#include "stats/table.hpp"
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+namespace {
+
+/// Transposed presentation: one row per metric, one column per protocol.
+void render_tab1(const SweepSpec& spec, const SweepGrid& grid, std::ostream& os,
+                 const SweepRenderCtx& ctx) {
+  std::vector<std::string> cols{"metric"};
+  for (const auto& name : grid.variant_names) cols.push_back(name);
+  Table t(cols);
+  for (const auto& series : spec.series) {
+    t.begin_row();
+    t.cell(series.title);
+    for (std::size_t v = 0; v < grid.num_variants(); ++v) {
+      const auto ci = grid.ci(v, 0, series.field);
+      t.cell_ci(ci.mean, ci.half_width, series.precision);
+    }
+  }
+  t.print_text(os, "  ");
+  if (!ctx.csv.empty() && t.write_csv(ctx.csv))
+    os << "\n  [csv written to " << ctx.csv << "]\n";
+  os << "\n";
+}
+
+}  // namespace
+
+SweepSpec tab1() {
+  SweepSpec s;
+  s.key = "tab1";
+  s.id = "TAB-1";
+  s.title = "protocol summary at the default operating point";
+  s.axis = {"point", {0.0}, nullptr};
+  s.variants = protocol_variants(
+      std::vector<ProtocolKind>(std::begin(kAllProtocols),
+                                std::end(kAllProtocols)));
+  s.series = {
+      {"mean latency (s)", "",
+       [](const Metrics& m) { return m.mean_latency_s; }, 2},
+      {"p90 latency (s)", "",
+       [](const Metrics& m) { return m.p90_latency_s; }, 2},
+      {"hit ratio", "", [](const Metrics& m) { return m.hit_ratio; }, 3},
+      {"uplink req/query", "",
+       [](const Metrics& m) { return m.uplink_per_query; }, 3},
+      {"report loss rate", "",
+       [](const Metrics& m) { return m.report_loss_rate; }, 3},
+      {"cache drops", "",
+       [](const Metrics& m) { return static_cast<double>(m.cache_drops); }, 1},
+      {"report kbit/s", "",
+       [](const Metrics& m) {
+         return (static_cast<double>(m.report_bits) +
+                 static_cast<double>(m.piggyback_bits)) /
+                m.measured_s / 1000.0;
+       },
+       2},
+      {"listen s/query", "",
+       [](const Metrics& m) { return m.listen_airtime_per_query; }, 3},
+      {"MAC busy frac", "",
+       [](const Metrics& m) { return m.mac_busy_frac; }, 3},
+      {"stale serves", "",
+       [](const Metrics& m) { return static_cast<double>(m.stale_serves); }, 0},
+  };
+  s.render = render_tab1;
+  return s;
+}
+
+}  // namespace wdc::sweeps

@@ -1,0 +1,93 @@
+/// TAB-2 — Ablation of HYB: remove each mechanism in turn and measure the cost.
+///
+///   HYB        full hybrid (LAIR sliding + piggyback digests + adaptive m)
+///   −slide     deferral window = 0 (reports on the nominal grid)
+///   −digest    piggybacking off (pig capacity 0 ⇒ digests never attach? —
+///              realised as UIR-with-sliding: compare against UIR instead)
+///   −adaptm    m pinned to 1 (full reports only + digests)
+///
+/// Realisation notes: "−digest" is UIR + LAIR-style sliding ≈ LAIR with minis;
+/// the closest runnable configuration is plain UIR (no slide, no digest) and
+/// LAIR (slide, no digest, no minis) — both included for triangulation.
+
+#include <ostream>
+
+#include "stats/table.hpp"
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+namespace {
+
+/// One row per ablation variant, one column per metric.
+void render_tab2(const SweepSpec& spec, const SweepGrid& grid, std::ostream& os,
+                 const SweepRenderCtx& ctx) {
+  std::vector<std::string> cols{"variant"};
+  for (const auto& series : spec.series) cols.push_back(series.title);
+  Table t(cols);
+  for (std::size_t v = 0; v < grid.num_variants(); ++v) {
+    t.begin_row();
+    t.cell(grid.variant_names[v]);
+    for (const auto& series : spec.series) {
+      const auto ci = grid.ci(v, 0, series.field);
+      t.cell_ci(ci.mean, ci.half_width, series.precision);
+    }
+  }
+  t.print_text(os, "  ");
+  if (!ctx.csv.empty() && t.write_csv(ctx.csv))
+    os << "\n  [csv written to " << ctx.csv << "]\n";
+  os << "\n";
+}
+
+}  // namespace
+
+SweepSpec tab2() {
+  SweepSpec s;
+  s.key = "tab2";
+  s.id = "TAB-2";
+  s.title = "HYB ablation";
+  // A regime where all three mechanisms matter: moderate SNR, real traffic.
+  s.adjust_base = [](Scenario& sc) {
+    sc.mean_snr_db = 16.0;
+    sc.traffic.offered_bps = 25e3;
+  };
+  s.axis = {"point", {0.0}, nullptr};
+  s.variants = {
+      {"HYB (full)", [](Scenario& sc) { sc.protocol = ProtocolKind::kHyb; }},
+      {"HYB -slide",
+       [](Scenario& sc) {
+         sc.protocol = ProtocolKind::kHyb;
+         sc.proto.lair_window_s = 0.0;
+       }},
+      {"HYB -adaptm",
+       [](Scenario& sc) {
+         sc.protocol = ProtocolKind::kHyb;
+         sc.proto.hyb_target_gap_s = sc.proto.ir_interval_s;  // needed=1 ⇒ m=1
+       }},
+      {"UIR (no slide/digest)",
+       [](Scenario& sc) { sc.protocol = ProtocolKind::kUir; }},
+      {"LAIR (slide only)",
+       [](Scenario& sc) { sc.protocol = ProtocolKind::kLair; }},
+      {"PIG (digest only)",
+       [](Scenario& sc) { sc.protocol = ProtocolKind::kPig; }},
+  };
+  s.series = {{"latency (s)", "",
+               [](const Metrics& m) { return m.mean_latency_s; }, 2},
+              {"p90 (s)", "", [](const Metrics& m) { return m.p90_latency_s; },
+               2},
+              {"hit ratio", "", [](const Metrics& m) { return m.hit_ratio; },
+               3},
+              {"report loss", "",
+               [](const Metrics& m) { return m.report_loss_rate; }, 4},
+              {"signalling kbit/s", "",
+               [](const Metrics& m) {
+                 return (static_cast<double>(m.report_bits) +
+                         static_cast<double>(m.piggyback_bits)) /
+                        m.measured_s / 1000.0;
+               },
+               2}};
+  s.render = render_tab2;
+  return s;
+}
+
+}  // namespace wdc::sweeps

@@ -1,0 +1,81 @@
+/// TAB-3 — IR schemes against the non-IR anchors (NC, PER, BS).
+///
+/// Expected shape: NC has the lowest latency on an idle channel but the highest
+/// uplink cost and zero hit ratio, and it saturates the downlink first as query
+/// load grows. PER matches IR hit ratios with sub-second validation latency but
+/// pays one uplink message per read — the per-read cost that IR broadcasting
+/// amortises away (watch uplink msgs/query). BS tracks TS with a fixed ~2N-bit
+/// report and a bigger disconnection window. CBL (stateful leases + callbacks)
+/// answers leased reads with ZERO wait — and is the only column whose `stale`
+/// cell is non-zero under fading/sleep: the measured consistency violations
+/// that motivate the stateless IR family.
+
+#include <ostream>
+
+#include "stats/table.hpp"
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+namespace {
+
+/// One row per protocol; the stale column is a plain count, not a CI.
+void render_tab3(const SweepSpec& spec, const SweepGrid& grid, std::ostream& os,
+                 const SweepRenderCtx& ctx) {
+  std::vector<std::string> cols{"protocol"};
+  for (const auto& series : spec.series) cols.push_back(series.title);
+  Table t(cols);
+  for (std::size_t v = 0; v < grid.num_variants(); ++v) {
+    t.begin_row();
+    t.cell(grid.variant_names[v]);
+    for (const auto& series : spec.series) {
+      const auto ci = grid.ci(v, 0, series.field);
+      if (series.title == "stale")
+        t.cell(ci.mean, series.precision);
+      else
+        t.cell_ci(ci.mean, ci.half_width, series.precision);
+    }
+  }
+  t.print_text(os, "  ");
+  if (!ctx.csv.empty() && t.write_csv(ctx.csv))
+    os << "\n  [csv written to " << ctx.csv << "]\n";
+  os << "\n";
+}
+
+}  // namespace
+
+SweepSpec tab3() {
+  SweepSpec s;
+  s.key = "tab3";
+  s.id = "TAB-3";
+  s.title = "IR schemes vs non-IR baselines";
+  s.axis = {"point", {0.0}, nullptr};
+  s.variants = protocol_variants({ProtocolKind::kNc, ProtocolKind::kPer,
+                                  ProtocolKind::kCbl, ProtocolKind::kBs,
+                                  ProtocolKind::kTs, ProtocolKind::kUir,
+                                  ProtocolKind::kHyb});
+  s.series = {{"latency (s)", "",
+               [](const Metrics& m) { return m.mean_latency_s; }, 2},
+              {"hit ratio", "", [](const Metrics& m) { return m.hit_ratio; },
+               3},
+              {"uplink msg/query", "",
+               [](const Metrics& m) { return m.uplink_per_query; }, 3},
+              {"report kbit/s", "",
+               [](const Metrics& m) {
+                 return (static_cast<double>(m.report_bits) +
+                         static_cast<double>(m.piggyback_bits)) /
+                        m.measured_s / 1000.0;
+               },
+               2},
+              {"MAC busy", "",
+               [](const Metrics& m) { return m.mac_busy_frac; }, 3},
+              {"stale", "",
+               [](const Metrics& m) {
+                 return static_cast<double>(m.stale_serves);
+               },
+               0}};
+  s.render = render_tab3;
+  return s;
+}
+
+}  // namespace wdc::sweeps

@@ -1,0 +1,59 @@
+/// @file fig1_shape_test.cpp
+/// FIG-1 shape regression: mean query latency vs IR interval L.
+///
+/// The qualitative claims (EXPERIMENTS.md, "Shape ✓"):
+///   - TS latency is monotone increasing in L: a report-bound client waits for
+///     the next IR, on average L/2, before it can answer.
+///   - The endpoint slope Δlatency/ΔL stays in [0.3, 1.0]. The pure L/2 wait
+///     predicts 0.5; lost reports push queries into later intervals, which at
+///     bench scale measures ≈ 0.70, while the fixed service-time floor pulls
+///     the small-L end down. Outside the band the latency law is broken.
+///   - UIR sits strictly below TS at every L: the m−1 minis inside the
+///     interval answer queries early (latency ≈ L/2m).
+///   - No IR scheme ever serves stale data, at any operating point.
+///
+/// One TEST per figure: ctest runs each TEST as its own process, so keeping
+/// the grid in a single TEST means it is simulated exactly once.
+
+#include <gtest/gtest.h>
+
+#include "shape_common.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(Fig1Shape, LatencyVsInterval) {
+  const SweepGrid grid = shapes::run_scaled("fig1");
+  const MetricField latency = [](const Metrics& m) {
+    return m.mean_latency_s;
+  };
+  const std::size_t ts = shapes::variant_index(grid, "TS");
+  const std::size_t uir = shapes::variant_index(grid, "UIR");
+  ASSERT_GE(grid.num_points(), 3u);
+
+  // TS latency monotone increasing in L.
+  for (std::size_t p = 0; p + 1 < grid.num_points(); ++p)
+    EXPECT_LT(shapes::mean_of(grid, ts, p, latency),
+              shapes::mean_of(grid, ts, p + 1, latency))
+        << "TS latency not monotone between L=" << grid.xs[p] << " and L="
+        << grid.xs[p + 1];
+
+  // Endpoint slope within the L/2-law band.
+  const std::size_t last = grid.num_points() - 1;
+  const double slope = (shapes::mean_of(grid, ts, last, latency) -
+                        shapes::mean_of(grid, ts, 0, latency)) /
+                       (grid.xs[last] - grid.xs[0]);
+  EXPECT_GE(slope, 0.3) << "TS latency grows much slower than L/2";
+  EXPECT_LE(slope, 1.0) << "TS latency grows much faster than L/2";
+
+  // UIR below TS at every point.
+  for (std::size_t p = 0; p < grid.num_points(); ++p)
+    EXPECT_LT(shapes::mean_of(grid, uir, p, latency),
+              shapes::mean_of(grid, ts, p, latency))
+        << "UIR not below TS at L=" << grid.xs[p];
+
+  shapes::expect_no_stale(grid);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,54 @@
+/// @file fig2_shape_test.cpp
+/// FIG-2 shape regression: cache hit ratio vs server update rate.
+///
+/// The qualitative claims (EXPERIMENTS.md, "Shape ✓"):
+///   - Every scheme's hit ratio decays monotonically with the update rate —
+///     updates invalidate cached copies faster than clients re-reference them.
+///   - At every update rate, AT < SIG < TS: AT drops its whole cache after any
+///     missed report, SIG pays a false-invalidation tax on top of TS's exact
+///     invalidation.
+///   - No IR scheme ever serves stale data.
+
+#include <gtest/gtest.h>
+
+#include "shape_common.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(Fig2Shape, HitRatioVsUpdateRate) {
+  const SweepGrid grid = shapes::run_scaled("fig2");
+  const MetricField hit = [](const Metrics& m) { return m.hit_ratio; };
+  ASSERT_GE(grid.num_points(), 3u);
+
+  // Monotone decay for every scheme, and a real end-to-end drop.
+  for (std::size_t v = 0; v < grid.num_variants(); ++v) {
+    for (std::size_t p = 0; p + 1 < grid.num_points(); ++p)
+      EXPECT_LT(shapes::mean_of(grid, v, p + 1, hit),
+                shapes::mean_of(grid, v, p, hit))
+          << grid.variant_names[v] << " hit ratio not decaying between "
+          << grid.xs[p] << " and " << grid.xs[p + 1] << " updates/s";
+    const std::size_t last = grid.num_points() - 1;
+    EXPECT_LT(shapes::mean_of(grid, v, last, hit),
+              0.8 * shapes::mean_of(grid, v, 0, hit))
+        << grid.variant_names[v] << " barely decays over the sweep";
+  }
+
+  // AT < SIG < TS at every update rate.
+  const std::size_t ts = shapes::variant_index(grid, "TS");
+  const std::size_t at = shapes::variant_index(grid, "AT");
+  const std::size_t sig = shapes::variant_index(grid, "SIG");
+  for (std::size_t p = 0; p < grid.num_points(); ++p) {
+    EXPECT_LT(shapes::mean_of(grid, at, p, hit),
+              shapes::mean_of(grid, sig, p, hit))
+        << "AT not below SIG at " << grid.xs[p] << " updates/s";
+    EXPECT_LT(shapes::mean_of(grid, sig, p, hit),
+              shapes::mean_of(grid, ts, p, hit))
+        << "SIG not below TS at " << grid.xs[p] << " updates/s";
+  }
+
+  shapes::expect_no_stale(grid);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,65 @@
+/// @file fig4_shape_test.cpp
+/// FIG-4 shape regression: signalling overhead vs update rate.
+///
+/// The qualitative claims (EXPERIMENTS.md, "Shape ✓"):
+///   - TS report bits grow with the update rate (entries per report ∝
+///     updates) while SIG's signature budget is FIXED — so SIG's curve is
+///     flat and the two curves must cross: TS cheaper at low update rates,
+///     SIG cheaper at high ones. The crossover is the paper's core argument
+///     for signature schemes under write-heavy workloads.
+///   - No IR scheme ever serves stale data.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "shape_common.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(Fig4Shape, SignallingCrossover) {
+  const SweepGrid grid = shapes::run_scaled("fig4");
+  // The spec's second series: downlink signalling load in kbit/s.
+  const SweepSpec* spec = sweeps::find("fig4");
+  ASSERT_NE(spec, nullptr);
+  ASSERT_EQ(spec->series.size(), 2u);
+  const MetricField& bits = spec->series[1].field;
+
+  const std::size_t ts = shapes::variant_index(grid, "TS");
+  const std::size_t sig = shapes::variant_index(grid, "SIG");
+  const std::size_t last = grid.num_points() - 1;
+  ASSERT_GE(grid.num_points(), 3u);
+
+  // SIG's signalling load is flat: its max/min ratio over the sweep stays
+  // near 1 while TS's grows several-fold.
+  double sig_min = shapes::mean_of(grid, sig, 0, bits);
+  double sig_max = sig_min;
+  for (std::size_t p = 1; p < grid.num_points(); ++p) {
+    const double b = shapes::mean_of(grid, sig, p, bits);
+    sig_min = std::min(sig_min, b);
+    sig_max = std::max(sig_max, b);
+  }
+  ASSERT_GT(sig_min, 0.0);
+  EXPECT_LT(sig_max / sig_min, 1.1) << "SIG signalling load is not flat";
+
+  // TS grows monotonically with the update rate...
+  for (std::size_t p = 0; p + 1 < grid.num_points(); ++p)
+    EXPECT_LT(shapes::mean_of(grid, ts, p, bits),
+              shapes::mean_of(grid, ts, p + 1, bits))
+        << "TS signalling not growing between " << grid.xs[p] << " and "
+        << grid.xs[p + 1] << " updates/s";
+
+  // ...and crosses SIG's flat curve inside the sweep.
+  EXPECT_LT(shapes::mean_of(grid, ts, 0, bits),
+            shapes::mean_of(grid, sig, 0, bits))
+      << "TS should be cheaper than SIG at the low-update end";
+  EXPECT_GT(shapes::mean_of(grid, ts, last, bits),
+            shapes::mean_of(grid, sig, last, bits))
+      << "TS should overtake SIG at the high-update end";
+
+  shapes::expect_no_stale(grid);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,82 @@
+#ifndef WDC_TESTS_SHAPES_SHAPE_COMMON_HPP
+#define WDC_TESTS_SHAPES_SHAPE_COMMON_HPP
+
+/// @file shape_common.hpp
+/// Shared operating point and helpers for the shape-regression tier (ctest
+/// label `shapes`). Each test instantiates a registered figure spec — the same
+/// SweepSpec the `wdc_bench` driver runs — at a scaled-down operating point:
+///
+///     bench scale:   30 clients, 2000 s (300 s warmup), 3 replications
+///     shapes scale:  12 clients,  600 s (100 s warmup), 2 replications
+///
+/// The scaling preserves the qualitative regimes EXPERIMENTS.md reports at
+/// bench scale (hit-ratio decay, the L/2 latency law, the FIG-4 crossover);
+/// only the confidence intervals widen, which is why these tests assert
+/// shapes and orderings rather than absolute values. The full grid still runs
+/// on the shared worker pool (threads=0 = all hardware), so the tier fits the
+/// CI budget (< 5 min on 4 cores) and stays seed-deterministic regardless of
+/// the thread count.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "engine/sweep.hpp"
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::shapes {
+
+inline SweepOptions scaled_options() {
+  SweepOptions opts;
+  opts.reps = 2;
+  opts.threads = 0;  // whole grid on all hardware threads
+  opts.base = sweeps::default_scenario();
+  opts.base.num_clients = 12;
+  opts.base.sim_time_s = 600.0;
+  opts.base.warmup_s = 100.0;
+  return opts;
+}
+
+/// Run a registered spec (by driver key) at the scaled operating point.
+inline SweepGrid run_scaled(const std::string& key) {
+  const SweepSpec* spec = sweeps::find(key);
+  EXPECT_NE(spec, nullptr) << "unregistered sweep: " << key;
+  SweepOptions opts = scaled_options();
+  if (spec->adjust_base) spec->adjust_base(opts.base);
+  return run_sweep(*spec, opts);
+}
+
+/// Column index of a variant by its printed name ("TS", "UIR", …).
+inline std::size_t variant_index(const SweepGrid& grid,
+                                 const std::string& name) {
+  for (std::size_t v = 0; v < grid.num_variants(); ++v)
+    if (grid.variant_names[v] == name) return v;
+  ADD_FAILURE() << "variant not in grid: " << name;
+  return 0;
+}
+
+/// Replication mean of one metric in one cell.
+inline double mean_of(const SweepGrid& grid, std::size_t variant,
+                      std::size_t point, const MetricField& field) {
+  return grid.ci(variant, point, field).mean;
+}
+
+/// The no-stale-read discipline: every replication of every cell must serve
+/// zero stale reads, except for variants named in `exempt` (CBL trades
+/// consistency for latency by design — see TAB-3 in EXPERIMENTS.md).
+inline void expect_no_stale(const SweepGrid& grid,
+                            const std::string& exempt = "") {
+  for (const auto& cell : grid.cells) {
+    if (!exempt.empty() && grid.variant_names[cell.variant] == exempt)
+      continue;
+    for (const auto& m : cell.reps)
+      EXPECT_EQ(m.stale_serves, 0u)
+          << grid.variant_names[cell.variant] << " at "
+          << grid.x_name << "=" << cell.x << " served stale data";
+  }
+}
+
+}  // namespace wdc::shapes
+
+#endif  // WDC_TESTS_SHAPES_SHAPE_COMMON_HPP

@@ -1,0 +1,33 @@
+/// @file stale_shape_test.cpp
+/// The consistency discipline across the full protocol line-up: TAB-3 runs
+/// the IR schemes next to the non-IR anchors (NC, PER, BS) at the default
+/// operating point, and none of them may ever serve stale data. CBL is the
+/// documented exemption — its leases + callbacks trade consistency for
+/// zero-wait reads, and its `stale` column is the one place a non-zero count
+/// is expected (see TAB-3 in EXPERIMENTS.md).
+
+#include <gtest/gtest.h>
+
+#include "shape_common.hpp"
+
+namespace wdc {
+namespace {
+
+TEST(StaleShape, OnlyCblMayServeStale) {
+  const SweepGrid grid = shapes::run_scaled("tab3");
+  ASSERT_EQ(grid.num_points(), 1u);
+  ASSERT_GE(grid.num_variants(), 7u);
+  shapes::expect_no_stale(grid, /*exempt=*/"CBL");
+
+  // Sanity on the anchors while the grid is hot: every variant answered
+  // queries, and the no-cache baseline never hits.
+  const MetricField hit = [](const Metrics& m) { return m.hit_ratio; };
+  for (std::size_t v = 0; v < grid.num_variants(); ++v)
+    for (const auto& m : grid.cell(v, 0).reps)
+      EXPECT_GT(m.answered, 0u) << grid.variant_names[v];
+  EXPECT_DOUBLE_EQ(
+      shapes::mean_of(grid, shapes::variant_index(grid, "NC"), 0, hit), 0.0);
+}
+
+}  // namespace
+}  // namespace wdc

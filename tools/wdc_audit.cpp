@@ -20,12 +20,12 @@
 /// Exit status 0 iff every protocol passes every check.
 
 #include <algorithm>
-#include <bit>
 #include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "engine/digest.hpp"
 #include "engine/replication.hpp"
 #include "engine/simulation.hpp"
 #include "proto/protocol.hpp"
@@ -36,74 +36,9 @@ namespace {
 
 using namespace wdc;
 
-/// FNV-1a 64-bit over an explicit field walk of Metrics. Field-by-field (not
-/// raw struct bytes) so padding can never alias into the digest.
-class Digest {
- public:
-  void mix(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (8 * i)) & 0xffu;
-      h_ *= 0x100000001b3ull;
-    }
-  }
-  void mix(double v) { mix(std::bit_cast<std::uint64_t>(v)); }
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 0xcbf29ce484222325ull;
-};
-
-std::uint64_t digest_of(const Metrics& m) {
-  Digest d;
-  d.mix(m.seed);
-  d.mix(m.sim_time_s);
-  d.mix(m.measured_s);
-  d.mix(m.events);
-  d.mix(m.queries);
-  d.mix(m.answered);
-  d.mix(m.hits);
-  d.mix(m.misses);
-  d.mix(m.stale_serves);
-  d.mix(m.dropped_queries);
-  d.mix(m.hit_ratio);
-  d.mix(m.mean_latency_s);
-  d.mix(m.p50_latency_s);
-  d.mix(m.p90_latency_s);
-  d.mix(m.p99_latency_s);
-  d.mix(m.mean_hit_latency_s);
-  d.mix(m.mean_miss_latency_s);
-  d.mix(m.uplink_requests);
-  d.mix(m.uplink_per_query);
-  d.mix(m.request_retries);
-  d.mix(m.reports_sent);
-  d.mix(m.minis_sent);
-  d.mix(m.reports_heard);
-  d.mix(m.reports_missed);
-  d.mix(m.report_loss_rate);
-  d.mix(m.cache_drops);
-  d.mix(m.false_invalidations);
-  d.mix(m.digests_applied);
-  d.mix(m.digest_answers);
-  d.mix(m.mac_busy_frac);
-  d.mix(m.report_airtime_s);
-  d.mix(m.item_airtime_s);
-  d.mix(m.data_airtime_s);
-  d.mix(m.report_overhead_frac);
-  d.mix(m.data_queue_delay_s);
-  d.mix(m.mean_broadcast_mcs);
-  d.mix(m.report_bits);
-  d.mix(m.piggyback_bits);
-  d.mix(m.item_broadcasts);
-  d.mix(m.coalesced_requests);
-  d.mix(m.data_frames_dropped);
-  d.mix(m.listen_airtime_s);
-  d.mix(m.listen_airtime_per_query);
-  d.mix(m.radio_on_frac);
-  d.mix(m.lair_deferred);
-  d.mix(m.lair_mean_deferral_s);
-  d.mix(m.hyb_mean_m);
-  return d.value();
-}
+// The FNV-1a metric digest lives in engine/digest.hpp, shared with the sweep
+// engine's determinism tests.
+std::uint64_t digest_of(const Metrics& m) { return metrics_digest(m); }
 
 std::vector<ProtocolKind> parse_protocols(const std::string& csv) {
   std::vector<ProtocolKind> out;
