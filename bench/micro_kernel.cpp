@@ -1,0 +1,219 @@
+/// @file micro_kernel.cpp
+/// Event-kernel microbenchmarks: the discrete-event hot path in isolation —
+/// no channel model, no protocol logic — so kernel changes show up undiluted.
+/// (In full-system sweeps the kernel is a minor term: the channel model's
+/// trigonometry dominates; see docs/ANALYSIS.md.)
+///
+/// Three shapes cover the kernel's real workloads:
+///  * hold-N churn — a steady heap of N pending events where every fired event
+///    schedules a successor (the MAC/workload pattern);
+///  * timer churn — arm-then-cancel-then-rearm (the protocol request-timer and
+///    deferred-IR pattern), which exercises cancel, lazy removal and slot
+///    recycling;
+///  * simulator dispatch — the same churn driven through Simulator::run_until,
+///    adding the run-loop and InlineFunction dispatch to the measurement.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace wdc;
+
+/// The pre-overhaul kernel design, reconstructed for head-to-head comparison:
+/// std::function actions (heap-allocating for big captures), a binary heap of
+/// full records, and unordered_set side tables consulted on push/cancel/pop.
+/// Kept minimal but shape-faithful so BM_Reference* vs BM_Kernel* isolates
+/// the data-structure change.
+class ReferenceQueue {
+ public:
+  struct Rec {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> action;
+  };
+
+  std::uint64_t push(double time, std::function<void()> action) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push_back(Rec{time, seq, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+    pending_.insert(seq);
+    return seq;
+  }
+
+  bool cancel(std::uint64_t seq) {
+    if (pending_.erase(seq) == 0) return false;
+    cancelled_.insert(seq);
+    return true;
+  }
+
+  bool pop(Rec& out) {
+    while (!heap_.empty() && cancelled_.erase(heap_.front().seq) > 0) {
+      std::pop_heap(heap_.begin(), heap_.end(), later);
+      heap_.pop_back();
+    }
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    out = std::move(heap_.back());
+    heap_.pop_back();
+    pending_.erase(out.seq);
+    return true;
+  }
+
+ private:
+  static bool later(const Rec& a, const Rec& b) {
+    return a.time != b.time ? a.time > b.time : a.seq > b.seq;
+  }
+
+  std::vector<Rec> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+};
+
+/// Deterministic 64-bit LCG (no libc RNG in the timed region).
+struct Lcg {
+  std::uint64_t s = 0x9e3779b97f4a7c15ull;
+  double next01() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<double>(s >> 11) * 0x1.0p-53;
+  }
+};
+
+/// Hold-N steady state: fire one event, schedule one successor. Item count =
+/// events fired.
+void BM_KernelHoldN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  EventQueue q;
+  Lcg lcg;
+  double now = 0.0;
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    q.push(lcg.next01(), EventPriority::kDefault, [&sink] { ++sink; });
+  detail::EventRecord rec;
+  for (auto _ : state) {
+    (void)q.pop_due(kNever, rec);
+    now = rec.time;
+    rec.action();
+    q.push(now + lcg.next01(), EventPriority::kDefault, [&sink] { ++sink; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelHoldN)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Same hold-N churn on the pre-overhaul design (binary heap + hash side
+/// tables + std::function).
+void BM_ReferenceHoldN(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  ReferenceQueue q;
+  Lcg lcg;
+  std::uint64_t sink = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    q.push(lcg.next01(), [&sink] { ++sink; });
+  ReferenceQueue::Rec rec;
+  for (auto _ : state) {
+    (void)q.pop(rec);
+    rec.action();
+    q.push(rec.time + lcg.next01(), [&sink] { ++sink; });
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReferenceHoldN)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Timer churn: each iteration arms a timeout, cancels it, re-arms, then a
+/// due event fires — the request-timer / deferred-IR pattern. Exercises
+/// cancel(), lazy dead-entry removal and slot recycling.
+void BM_KernelTimerChurn(benchmark::State& state) {
+  EventQueue q;
+  Lcg lcg;
+  double now = 0.0;
+  std::uint64_t sink = 0;
+  // A modest standing population so cancels land mid-heap, not at the top.
+  for (int i = 0; i < 256; ++i)
+    q.push(lcg.next01(), EventPriority::kProtocol, [&sink] { ++sink; });
+  detail::EventRecord rec;
+  for (auto _ : state) {
+    const EventId timeout =
+        q.push(now + 10.0 + lcg.next01(), EventPriority::kProtocol,
+               [&sink] { ++sink; });
+    q.cancel(timeout);
+    q.push(now + lcg.next01(), EventPriority::kProtocol, [&sink] { ++sink; });
+    (void)q.pop_due(kNever, rec);
+    now = rec.time;
+    rec.action();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_KernelTimerChurn);
+
+/// The same arm/cancel/rearm/fire churn on the pre-overhaul design.
+void BM_ReferenceTimerChurn(benchmark::State& state) {
+  ReferenceQueue q;
+  Lcg lcg;
+  double now = 0.0;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 256; ++i)
+    q.push(lcg.next01(), [&sink] { ++sink; });
+  ReferenceQueue::Rec rec;
+  for (auto _ : state) {
+    const std::uint64_t timeout =
+        q.push(now + 10.0 + lcg.next01(), [&sink] { ++sink; });
+    q.cancel(timeout);
+    q.push(now + lcg.next01(), [&sink] { ++sink; });
+    (void)q.pop(rec);
+    now = rec.time;
+    rec.action();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ReferenceTimerChurn);
+
+/// The same hold-N churn driven through the Simulator run loop: adds
+/// schedule_at() plumbing, the pop_due fast path and stop handling.
+void BM_SimulatorDispatch(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    Lcg lcg;
+    std::uint64_t fired = 0;
+    const std::uint64_t quota = 100000;
+    // Self-rescheduling chains: each fired event books its successor.
+    struct Chain {
+      Simulator& sim;
+      Lcg& lcg;
+      std::uint64_t& fired;
+      std::uint64_t quota;
+      void operator()() {
+        if (++fired >= quota) {
+          sim.stop();
+          return;
+        }
+        sim.schedule_at(sim.now() + lcg.next01(),
+                        Chain{sim, lcg, fired, quota});
+      }
+    };
+    for (std::size_t i = 0; i < n; ++i)
+      sim.schedule_at(lcg.next01(), Chain{sim, lcg, fired, quota});
+    sim.run_all();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_SimulatorDispatch)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -10,12 +10,15 @@
 ///    "as of" this time);
 ///  * `validated_at` — last consistency point at which the entry was certified
 ///    valid (report application time).
-/// O(1) get/put/invalidate via hash map + intrusive list (std::list + iterators).
+///
+/// Hot-path layout: the recency list is an intrusive doubly-linked list over a
+/// recycled slab (no node allocation after warm-up), and the id index is a
+/// direct-mapped vector (item ids are dense — no hashing). Invalidation
+/// protocols probe/erase every reported id against every client cache, so
+/// lookup cost dominates; a vector probe is one load vs a hash-map find.
 
 #include <cstdint>
-#include <list>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "util/check.hpp"
@@ -35,8 +38,8 @@ class LruCache {
   explicit LruCache(std::size_t capacity);
 
   std::size_t capacity() const { return capacity_; }
-  std::size_t size() const { return map_.size(); }
-  bool empty() const { return map_.empty(); }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// Lookup without touching recency. nullptr if absent.
   const CacheEntry* peek(ItemId id) const;
@@ -58,7 +61,7 @@ class LruCache {
   /// Drop everything (protocol fallback after losing report continuity).
   void clear();
 
-  /// Ids of all resident entries (unspecified order).
+  /// Ids of all resident entries (MRU-to-LRU order).
   std::vector<ItemId> resident() const;
 
   // Lifetime counters (monotonic).
@@ -72,22 +75,43 @@ class LruCache {
   /// invalidation from capacity eviction in the stats).
   void note_invalidation() { ++invalidations_; }
 
-  /// Structural audit: size bound, map↔list agreement (which rules out duplicate
-  /// ids), every index entry resolves to a node carrying its id. Trips a
+  /// Structural audit: size bound, index↔list agreement (which rules out
+  /// duplicate ids), list linkage, slab free-chain conservation. Trips a
   /// WDC_CHECK on corruption; no-op when checks are compiled out.
   void audit() const;
 
  private:
-  using LruList = std::list<CacheEntry>;
+  friend struct LruCacheTestPeer;  // white-box corruption hook for death tests
+
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  /// Slab node of the intrusive recency list (front = MRU). Freed nodes are
+  /// chained through `next`.
+  struct Node {
+    CacheEntry entry;
+    std::uint32_t prev = kNil;
+    std::uint32_t next = kNil;
+  };
 
   /// Full audits are amortised: one every kAuditPeriod mutations.
   static constexpr std::uint64_t kAuditPeriod = 64;
 
+  std::uint32_t slot_of(ItemId id) const {
+    return id < index_.size() ? index_[id] : kNil;
+  }
+  std::uint32_t acquire_node();
+  void release_node(std::uint32_t n);
+  void unlink(std::uint32_t n);
+  void link_front(std::uint32_t n);
   void maybe_audit() const;
 
   std::size_t capacity_;
-  LruList lru_;  ///< front = MRU
-  std::unordered_map<ItemId, LruList::iterator> map_;
+  std::vector<Node> nodes_;           ///< recycled slab; never shrinks
+  std::vector<std::uint32_t> index_;  ///< item id → slab slot (kNil = absent)
+  std::uint32_t head_ = kNil;         ///< MRU end
+  std::uint32_t tail_ = kNil;         ///< LRU end
+  std::uint32_t free_head_ = kNil;
+  std::size_t size_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;

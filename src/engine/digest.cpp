@@ -64,6 +64,9 @@ std::uint64_t metrics_digest(const Metrics& m) {
   d.mix(m.lair_deferred);
   d.mix(m.lair_mean_deferral_s);
   d.mix(m.hyb_mean_m);
+  // m.kernel is deliberately NOT mixed: perf counters describe how the kernel
+  // did the work, not what the model computed, and must not perturb digests
+  // between instrumented (-DWDC_PERF_COUNTERS=ON) and stripped builds.
   return d.value();
 }
 

@@ -48,6 +48,12 @@ void Metrics::print(std::ostream& os) const {
                  ull(lair_deferred), lair_mean_deferral_s);
   if (hyb_mean_m > 0.0)
     os << strfmt("HYB                mean m %.2f\n", hyb_mean_m);
+  if (kernel.scheduled > 0)
+    os << strfmt(
+        "event kernel       %llu scheduled / %llu fired / %llu cancelled; "
+        "heap peak %llu, %llu slots reused\n",
+        ull(kernel.scheduled), ull(kernel.fired), ull(kernel.cancelled),
+        ull(kernel.heap_peak), ull(kernel.slots_reused));
 }
 
 }  // namespace wdc

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "sim/kernel_counters.hpp"
 #include "util/types.hpp"
 
 namespace wdc {
@@ -73,6 +74,12 @@ struct Metrics {
   std::uint64_t lair_deferred = 0;
   double lair_mean_deferral_s = 0.0;
   double hyb_mean_m = 0.0;
+
+  // --- event-kernel perf counters ---
+  /// Instrumentation only: all zero under -DWDC_PERF_COUNTERS=OFF, and
+  /// deliberately excluded from metrics_digest() so instrumented and stripped
+  /// builds produce identical digests.
+  KernelCounters kernel;
 
   /// Human-readable dump (examples use it).
   void print(std::ostream& os) const;

@@ -129,6 +129,19 @@ Metrics mean_of(const std::vector<Metrics>& reps) {
   out.lair_mean_deferral_s =
       avg([](const Metrics& m) { return m.lair_mean_deferral_s; });
   out.hyb_mean_m = avg([](const Metrics& m) { return m.hyb_mean_m; });
+  const auto avg_count = [&](auto field) {
+    return static_cast<std::uint64_t>(
+        avg([field](const Metrics& m) { return static_cast<double>(m.kernel.*field); }));
+  };
+  out.kernel.scheduled = avg_count(&KernelCounters::scheduled);
+  out.kernel.fired = avg_count(&KernelCounters::fired);
+  out.kernel.cancelled = avg_count(&KernelCounters::cancelled);
+  out.kernel.dead_skipped = avg_count(&KernelCounters::dead_skipped);
+  out.kernel.slots_reused = avg_count(&KernelCounters::slots_reused);
+  out.kernel.heap_peak = avg_count(&KernelCounters::heap_peak);
+  for (std::size_t p = 0; p < kNumEventPriorities; ++p)
+    out.kernel.scheduled_by_prio[p] = static_cast<std::uint64_t>(avg(
+        [p](const Metrics& m) { return static_cast<double>(m.kernel.scheduled_by_prio[p]); }));
   return out;
 }
 

@@ -163,6 +163,8 @@ Metrics Simulation::collect() const {
           : 0.0;
   if (const auto* hyb = dynamic_cast<const ServerHyb*>(server_.get()))
     m.hyb_mean_m = hyb->m_history().mean();
+
+  m.kernel = sim_.kernel_counters();
   return m;
 }
 

@@ -233,6 +233,44 @@ std::string json_num(double v) {
   return strfmt("%.17g", v);
 }
 
+/// JSON keys for KernelCounters::scheduled_by_prio, in EventPriority order.
+constexpr const char* kPrioNames[kNumEventPriorities] = {
+    "channel", "tx_done", "protocol", "workload", "default", "stats"};
+
+/// Mean of one kernel counter across a cell's replications.
+template <typename Field>
+double kernel_mean(const std::vector<Metrics>& reps, Field field) {
+  if (reps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : reps) sum += static_cast<double>(field(m.kernel));
+  return sum / static_cast<double>(reps.size());
+}
+
+/// Per-cell event-kernel telemetry block (all zero when the build strips
+/// perf counters — the schema stays stable either way).
+void write_kernel_block(std::ostream& os, const std::vector<Metrics>& reps) {
+  os << "\"kernel\": {"
+     << "\"scheduled\": "
+     << json_num(kernel_mean(reps, [](const KernelCounters& k) { return k.scheduled; }))
+     << ", \"fired\": "
+     << json_num(kernel_mean(reps, [](const KernelCounters& k) { return k.fired; }))
+     << ", \"cancelled\": "
+     << json_num(kernel_mean(reps, [](const KernelCounters& k) { return k.cancelled; }))
+     << ", \"dead_skipped\": "
+     << json_num(kernel_mean(reps, [](const KernelCounters& k) { return k.dead_skipped; }))
+     << ", \"slots_reused\": "
+     << json_num(kernel_mean(reps, [](const KernelCounters& k) { return k.slots_reused; }))
+     << ", \"heap_peak\": "
+     << json_num(kernel_mean(reps, [](const KernelCounters& k) { return k.heap_peak; }))
+     << ", \"scheduled_by_prio\": {";
+  for (std::size_t p = 0; p < kNumEventPriorities; ++p) {
+    os << (p ? ", " : "") << "\"" << kPrioNames[p] << "\": "
+       << json_num(kernel_mean(
+              reps, [p](const KernelCounters& k) { return k.scheduled_by_prio[p]; }));
+  }
+  os << "}}";
+}
+
 }  // namespace
 
 bool write_json(const SweepSpec& spec, const SweepOptions& opts,
@@ -272,7 +310,9 @@ bool write_json(const SweepSpec& spec, const SweepOptions& opts,
          << "\": {\"mean\": " << json_num(ci.mean) << ", \"half_width\": "
          << json_num(ci.half_width) << ", \"n\": " << ci.n << "}";
     }
-    os << "}}";
+    os << "},\n     ";
+    write_kernel_block(os, cell.reps);
+    os << "}";
   }
   os << "\n  ]\n}\n";
   return static_cast<bool>(os);

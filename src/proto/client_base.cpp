@@ -53,7 +53,7 @@ void ClientProtocol::on_sleep_transition(bool awake) {
   // Going to sleep: abandon pending queries and their re-request timers.
   for (const auto& q : pending_) sink_.record_dropped(q.qtime);
   pending_.clear();
-  for (auto& [item, timer] : request_timers_) sim_.cancel(timer);
+  for (auto& rt : request_timers_) sim_.cancel(rt.second);
   request_timers_.clear();
 }
 
@@ -305,7 +305,7 @@ void ClientProtocol::send_request(ItemId item) {
 }
 
 void ClientProtocol::arm_request_timer(ItemId item) {
-  request_timers_[item] = sim_.schedule_in(
+  const EventId timer = sim_.schedule_in(
       cfg_.request_timeout_s,
       [this, item] {
         // The broadcast never arrived (lost or dropped): ask again.
@@ -314,15 +314,23 @@ void ClientProtocol::arm_request_timer(ItemId item) {
         arm_request_timer(item);
       },
       EventPriority::kProtocol);
+  for (auto& rt : request_timers_) {
+    if (rt.first == item) {
+      rt.second = timer;
+      return;
+    }
+  }
+  request_timers_.emplace_back(item, timer);
 }
 
 void ClientProtocol::complete_awaiting(ItemId item, Version version,
                                        SimTime content_time) {
-  const auto timer = request_timers_.find(item);
-  if (timer != request_timers_.end()) {
-    sim_.cancel(timer->second);
-    request_timers_.erase(timer);
+  for (auto it = request_timers_.begin(); it != request_timers_.end(); ++it) {
+    if (it->first != item) continue;
+    sim_.cancel(it->second);
+    request_timers_.erase(it);
     note_radio_state();
+    break;
   }
   for (auto& q : pending_) {
     if (!q.awaiting || q.item != item) continue;

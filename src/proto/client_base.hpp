@@ -32,7 +32,6 @@
 /// deafness to mini reports and digests between grid points.
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/lru_cache.hpp"
@@ -142,7 +141,11 @@ class ClientProtocol {
   void record_hit_answer(SimTime qtime, ItemId item, Version version,
                          SimTime consistency_time, bool via_digest = false);
   /// True if an uplink fetch for `item` is in flight.
-  bool awaiting_item(ItemId item) const { return request_timers_.count(item) > 0; }
+  bool awaiting_item(ItemId item) const {
+    for (const auto& rt : request_timers_)
+      if (rt.first == item) return true;
+    return false;
+  }
 
   const Database& oracle() const { return oracle_; }
   UplinkChannel& uplink() { return uplink_; }
@@ -185,7 +188,10 @@ class ClientProtocol {
   std::function<bool()> is_awake_;
   ClientId id_ = kInvalidClient;
   std::vector<PendingQuery> pending_;
-  std::unordered_map<ItemId, EventId> request_timers_;
+  /// In-flight uplink fetches and their re-request timers. A client awaits a
+  /// handful of items at most, so a flat scan beats hashing — and report
+  /// application probes this on the hot path.
+  std::vector<std::pair<ItemId, EventId>> request_timers_;
 
   bool tuned_on_ = true;       ///< selective tuning: window currently open
   std::uint64_t grid_tick_ = 0;

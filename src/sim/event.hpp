@@ -2,23 +2,27 @@
 #define WDC_SIM_EVENT_HPP
 
 /// @file event.hpp
-/// Event record for the discrete-event kernel.
+/// Event types for the discrete-event kernel.
 ///
-/// Events carry an arbitrary action (type-erased callable). Ordering is by time,
-/// then by priority (lower value fires first), then by insertion sequence — the
+/// Events carry an arbitrary action (a fixed-capacity inline callable — never
+/// heap-allocated; see util/inline_action.hpp). Ordering is by time, then by
+/// priority (lower value fires first), then by insertion sequence — the
 /// ns-2-style *stable* tie-break that makes runs bit-reproducible.
 
 #include <cstdint>
-#include <functional>
 
+#include "util/inline_action.hpp"
 #include "util/types.hpp"
 
 namespace wdc {
 
-/// Handle used to cancel a scheduled event. Copyable, cheap.
+/// Handle used to cancel a scheduled event. Copyable, cheap. Encodes the
+/// kernel's slot index (low 32 bits) and the slot's generation stamp (high 32
+/// bits); a recycled slot bumps its generation, so stale handles can never
+/// cancel an unrelated later event.
 struct EventId {
-  std::uint64_t seq = 0;
-  bool valid() const { return seq != 0; }
+  std::uint64_t raw = 0;
+  bool valid() const { return raw != 0; }
 };
 
 /// Scheduling priority for simultaneous events. The MAC uses this to guarantee,
@@ -33,25 +37,40 @@ enum class EventPriority : std::uint8_t {
   kStats = 5,     ///< sampling probes fire after everything else settles
 };
 
-using EventAction = std::function<void()>;
+inline constexpr std::size_t kNumEventPriorities = 6;
+
+/// Fixed-capacity inline action: captures construct in place, scheduling and
+/// firing never touch the allocator. 48 bytes covers every kernel client (the
+/// largest capture in the tree is the uplink's this + std::function at 40).
+using EventAction = InlineFunction<void(), 48>;
 
 namespace detail {
+
+/// A fired event as handed to the run loop (and to white-box tests).
 struct EventRecord {
-  SimTime time;
-  EventPriority prio;
-  std::uint64_t seq;  // insertion order; doubles as the cancellation handle
+  SimTime time = 0.0;
+  EventPriority prio = EventPriority::kDefault;
+  std::uint64_t seq = 0;  ///< global insertion order (the final tie-break)
   EventAction action;
-  bool cancelled = false;
 };
 
-/// Min-heap ordering: earliest time, then lowest priority value, then lowest seq.
-struct EventLater {
-  bool operator()(const EventRecord& a, const EventRecord& b) const {
-    if (a.time != b.time) return a.time > b.time;
-    if (a.prio != b.prio) return a.prio > b.prio;
-    return a.seq > b.seq;
-  }
+/// A heap entry is a 24-byte POD key — the action stays in the slot pool, so
+/// heap sifts move keys, never callables.
+struct HeapEntry {
+  SimTime time;
+  std::uint64_t seq;
+  std::uint32_t slot;
+  EventPriority prio;
 };
+
+/// Strict total order: earliest time, then lowest priority value, then lowest
+/// seq. Total ⇒ the pop sequence is unique whatever the heap arity/layout.
+inline bool fires_before(const HeapEntry& a, const HeapEntry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.prio != b.prio) return a.prio < b.prio;
+  return a.seq < b.seq;
+}
+
 }  // namespace detail
 
 }  // namespace wdc

@@ -1,37 +1,117 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-
 namespace wdc {
+
+namespace {
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    Slot& s = slots_[index];
+    WDC_ASSERT(s.state == SlotState::kFree,
+               "freelist head slot=", index, " is not free");
+    free_head_ = s.next_free;
+    s.next_free = kNoSlot;
+    counters_.slot_reuse();
+    return index;
+  }
+  WDC_ASSERT(slots_.size() < kNoSlot, "slot pool exhausted");
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) const {
+  Slot& s = slots_[index];
+  s.action.reset();
+  // Bump the generation so any EventId still pointing at this slot goes stale.
+  // Generation 0 is reserved for the invalid EventId{} handle.
+  if (++s.gen == 0) s.gen = 1;
+  s.state = SlotState::kFree;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const detail::HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!detail::fires_before(entry, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void EventQueue::sift_down(std::size_t i) const {
+  const std::size_t n = heap_.size();
+  const detail::HeapEntry entry = heap_[i];
+  for (;;) {
+    const std::size_t first = i * kHeapArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = (first + kHeapArity < n) ? first + kHeapArity : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (detail::fires_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!detail::fires_before(heap_[best], entry)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
 
 EventId EventQueue::push(SimTime time, EventPriority prio, EventAction action) {
   WDC_ASSERT(time >= last_pop_time_,
              "push at t=", time, " behind last pop t=", last_pop_time_);
   const std::uint64_t seq = next_seq_++;
-  heap_.push_back(detail::EventRecord{time, prio, seq, std::move(action), false});
-  std::push_heap(heap_.begin(), heap_.end(), detail::EventLater{});
-  pending_.insert(seq);
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slots_[index];
+  s.state = SlotState::kPending;
+  s.action = std::move(action);
+  heap_.push_back(detail::HeapEntry{time, seq, index, prio});
+  sift_up(heap_.size() - 1);
   ++live_;
+  counters_.schedule(prio, heap_.size());
   maybe_audit();
-  return EventId{seq};
+  return EventId{(static_cast<std::uint64_t>(s.gen) << 32) | index};
 }
 
 bool EventQueue::cancel(EventId id) {
   if (!id.valid()) return false;
-  if (pending_.erase(id.seq) == 0) return false;  // already fired or never existed
-  cancelled_.insert(id.seq);
-  WDC_ASSERT(live_ > 0, "cancel of seq=", id.seq, " with live count 0");
+  const auto index = static_cast<std::uint32_t>(id.raw & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.raw >> 32);
+  if (gen == 0 || index >= slots_.size()) return false;
+  Slot& s = slots_[index];
+  if (s.gen != gen || s.state != SlotState::kPending) {
+    return false;  // already fired, already cancelled, or a recycled slot
+  }
+  s.state = SlotState::kCancelled;
+  s.action.reset();  // release captures now; the heap key is removed lazily
+  WDC_ASSERT(live_ > 0, "cancel of slot=", index, " with live count 0");
   --live_;
+  counters_.cancel();
   maybe_audit();
   return true;
 }
 
 void EventQueue::drop_dead() const {
-  while (!heap_.empty() && cancelled_.count(heap_.front().seq) > 0) {
-    std::pop_heap(heap_.begin(), heap_.end(), detail::EventLater{});
-    cancelled_.erase(heap_.back().seq);
-    heap_.pop_back();
+  while (!heap_.empty()) {
+    const std::uint32_t index = heap_.front().slot;
+    WDC_ASSERT(index < slots_.size(),
+               "heap top references slot=", index, " outside the pool");
+    if (slots_[index].state != SlotState::kCancelled) break;
+    release_slot(index);
+    remove_top();
+    counters_.dead_skip();
   }
+}
+
+void EventQueue::remove_top() const {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
 }
 
 bool EventQueue::empty() const {
@@ -44,22 +124,39 @@ SimTime EventQueue::next_time() const {
   return heap_.empty() ? kNever : heap_.front().time;
 }
 
-detail::EventRecord EventQueue::pop() {
-  drop_dead();
-  WDC_ASSERT(!heap_.empty(), "EventQueue::pop on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), detail::EventLater{});
-  detail::EventRecord rec = std::move(heap_.back());
-  heap_.pop_back();
-  WDC_ASSERT(pending_.count(rec.seq) > 0,
-             "popped seq=", rec.seq, " not in the pending set");
-  pending_.erase(rec.seq);
+detail::EventRecord EventQueue::take_top() {
+  const detail::HeapEntry top = heap_.front();
+  Slot& s = slots_[top.slot];
+  WDC_ASSERT(s.state == SlotState::kPending,
+             "popped slot=", top.slot, " (seq=", top.seq, ") is not pending");
+  detail::EventRecord rec;
+  rec.time = top.time;
+  rec.prio = top.prio;
+  rec.seq = top.seq;
+  rec.action = std::move(s.action);
+  release_slot(top.slot);
+  remove_top();
   WDC_ASSERT(live_ > 0, "pop of seq=", rec.seq, " with live count 0");
   --live_;
   WDC_ASSERT(rec.time >= last_pop_time_, "pop time went backwards: ", rec.time,
              " after ", last_pop_time_, " (seq=", rec.seq, ")");
   last_pop_time_ = rec.time;
+  counters_.fire();
   maybe_audit();
   return rec;
+}
+
+detail::EventRecord EventQueue::pop() {
+  drop_dead();
+  WDC_ASSERT(!heap_.empty(), "EventQueue::pop on empty queue");
+  return take_top();
+}
+
+bool EventQueue::pop_due(SimTime limit, detail::EventRecord& out) {
+  drop_dead();
+  if (heap_.empty() || heap_.front().time > limit) return false;
+  out = take_top();
+  return true;
 }
 
 void EventQueue::maybe_audit() const {
@@ -70,26 +167,68 @@ void EventQueue::maybe_audit() const {
 
 void EventQueue::audit() const {
 #if WDC_CHECKS_ENABLED
-  WDC_CHECK(live_ == pending_.size(),
-            "live count ", live_, " != pending set size ", pending_.size());
-  WDC_CHECK(heap_.size() == pending_.size() + cancelled_.size(),
-            "heap holds ", heap_.size(), " records but pending=", pending_.size(),
-            " + cancelled=", cancelled_.size());
+  std::size_t pending = 0;
+  std::size_t cancelled = 0;
+  std::size_t free_count = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    WDC_CHECK(s.gen != 0, "slot=", i, " has the reserved generation 0");
+    switch (s.state) {
+      case SlotState::kPending:
+        ++pending;
+        break;
+      case SlotState::kCancelled:
+        ++cancelled;
+        WDC_CHECK(!s.action, "cancelled slot=", i,
+                  " still holds an action (captures must be released at "
+                  "cancel time)");
+        break;
+      case SlotState::kFree:
+        ++free_count;
+        WDC_CHECK(!s.action, "free slot=", i, " still holds an action");
+        break;
+    }
+  }
+  WDC_CHECK(live_ == pending,
+            "live count ", live_, " != pending slot count ", pending);
+  WDC_CHECK(heap_.size() == pending + cancelled,
+            "heap holds ", heap_.size(), " keys but pending=", pending,
+            " + cancelled=", cancelled);
+  // Freelist conservation: it must thread through exactly the free slots.
+  std::size_t chain = 0;
+  for (std::uint32_t f = free_head_; f != kNoSlot; f = slots_[f].next_free) {
+    WDC_CHECK(f < slots_.size(), "freelist references slot=", f,
+              " outside the pool");
+    WDC_CHECK(slots_[f].state == SlotState::kFree,
+              "freelist slot=", f, " is not marked free");
+    WDC_CHECK(++chain <= slots_.size(),
+              "freelist cycle detected after ", chain, " links");
+  }
+  WDC_CHECK(chain == free_count, "freelist length ", chain,
+            " != free slot count ", free_count);
+  // Heap structure: unique live slots, 4-ary order, time monotonicity, seqs.
+  std::vector<bool> seen(slots_.size(), false);
   for (std::size_t i = 0; i < heap_.size(); ++i) {
-    const auto& rec = heap_[i];
-    const bool is_pending = pending_.count(rec.seq) > 0;
-    const bool is_cancelled = cancelled_.count(rec.seq) > 0;
-    WDC_CHECK(is_pending != is_cancelled, "heap seq=", rec.seq,
-              " must be exactly one of pending/cancelled (pending=", is_pending,
-              ", cancelled=", is_cancelled, ")");
-    if (is_pending)
-      WDC_CHECK(rec.time >= last_pop_time_, "pending seq=", rec.seq, " at t=",
-                rec.time, " is behind the last popped time ", last_pop_time_);
+    const detail::HeapEntry& e = heap_[i];
+    WDC_CHECK(e.slot < slots_.size(),
+              "heap key i=", i, " references slot=", e.slot,
+              " outside the pool");
+    WDC_CHECK(!seen[e.slot], "slot=", e.slot, " appears twice in the heap");
+    seen[e.slot] = true;
+    WDC_CHECK(slots_[e.slot].state != SlotState::kFree,
+              "heap key i=", i, " references free slot=", e.slot);
+    WDC_CHECK(e.seq < next_seq_, "heap seq=", e.seq,
+              " was never issued (next_seq=", next_seq_, ")");
+    if (slots_[e.slot].state == SlotState::kPending) {
+      WDC_CHECK(e.time >= last_pop_time_, "pending seq=", e.seq, " at t=",
+                e.time, " is behind the last popped time ", last_pop_time_);
+    }
     if (i > 0) {
-      const auto& parent = heap_[(i - 1) / 2];
-      WDC_CHECK(!detail::EventLater{}(parent, rec),
-                "heap order broken: parent seq=", parent.seq, " t=", parent.time,
-                " fires after child seq=", rec.seq, " t=", rec.time);
+      const detail::HeapEntry& parent = heap_[(i - 1) / kHeapArity];
+      WDC_CHECK(!detail::fires_before(e, parent),
+                "heap order broken: parent seq=", parent.seq,
+                " t=", parent.time, " fires after child seq=", e.seq,
+                " t=", e.time);
     }
   }
 #endif

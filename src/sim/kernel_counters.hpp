@@ -1,0 +1,74 @@
+#ifndef WDC_SIM_KERNEL_COUNTERS_HPP
+#define WDC_SIM_KERNEL_COUNTERS_HPP
+
+/// @file kernel_counters.hpp
+/// Perf-counter hook for the event kernel: events scheduled/fired/cancelled,
+/// lazy-removal work, slot-pool recycling, heap depth high-water mark, and
+/// per-subsystem schedule counts (keyed by EventPriority, which maps 1:1 onto
+/// the scheduling subsystems — channel, MAC tx, protocol timers, workload,
+/// stats probes).
+///
+/// The hook is compile-time zero-cost: with WDC_PERF_COUNTERS_ENABLED=0
+/// (CMake -DWDC_PERF_COUNTERS=OFF) every bump inlines to nothing and the hook
+/// object is empty. Counters are instrumentation only — they are surfaced in
+/// Metrics and wdc_bench json= output but deliberately EXCLUDED from
+/// metrics_digest, so instrumented and stripped builds stay digest-identical.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event.hpp"
+
+#ifndef WDC_PERF_COUNTERS_ENABLED
+#define WDC_PERF_COUNTERS_ENABLED 1
+#endif
+
+namespace wdc {
+
+struct KernelCounters {
+  std::uint64_t scheduled = 0;     ///< push() calls
+  std::uint64_t fired = 0;         ///< events popped for execution
+  std::uint64_t cancelled = 0;     ///< successful cancel() calls
+  std::uint64_t dead_skipped = 0;  ///< cancelled records lazily removed
+  std::uint64_t slots_reused = 0;  ///< pool recycling hits (vs fresh slots)
+  std::uint64_t heap_peak = 0;     ///< heap depth high-water mark
+  std::uint64_t scheduled_by_prio[kNumEventPriorities] = {};
+};
+
+#if WDC_PERF_COUNTERS_ENABLED
+
+class KernelCounterHook {
+ public:
+  void schedule(EventPriority prio, std::size_t heap_size) {
+    ++c_.scheduled;
+    ++c_.scheduled_by_prio[static_cast<std::size_t>(prio)];
+    if (heap_size > c_.heap_peak) c_.heap_peak = heap_size;
+  }
+  void fire() { ++c_.fired; }
+  void cancel() { ++c_.cancelled; }
+  void dead_skip() { ++c_.dead_skipped; }
+  void slot_reuse() { ++c_.slots_reused; }
+  KernelCounters snapshot() const { return c_; }
+
+ private:
+  KernelCounters c_;
+};
+
+#else
+
+/// Stripped build: every hook call compiles to nothing.
+class KernelCounterHook {
+ public:
+  void schedule(EventPriority, std::size_t) {}
+  void fire() {}
+  void cancel() {}
+  void dead_skip() {}
+  void slot_reuse() {}
+  KernelCounters snapshot() const { return {}; }
+};
+
+#endif  // WDC_PERF_COUNTERS_ENABLED
+
+}  // namespace wdc
+
+#endif  // WDC_SIM_KERNEL_COUNTERS_HPP

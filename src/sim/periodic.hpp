@@ -4,10 +4,10 @@
 /// @file periodic.hpp
 /// Self-rescheduling periodic timer (IR ticks, sampling probes). Header-only.
 
-#include <functional>
 #include <utility>
 
 #include "sim/simulator.hpp"
+#include "util/inline_action.hpp"
 
 namespace wdc {
 
@@ -16,7 +16,9 @@ namespace wdc {
 /// accumulate floating-point drift — IR instants stay aligned across protocols.
 class PeriodicTimer {
  public:
-  using TickAction = std::function<void(std::uint64_t)>;
+  /// Inline like EventAction: periodic timers are per-replication hot state
+  /// (IR ticks fire throughout the run) and never touch the allocator.
+  using TickAction = InlineFunction<void(std::uint64_t), 48>;
 
   PeriodicTimer(Simulator& sim, SimTime first, SimTime period, TickAction action,
                 EventPriority prio = EventPriority::kProtocol)

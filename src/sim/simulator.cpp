@@ -20,8 +20,8 @@ bool Simulator::cancel(EventId id) { return queue_.cancel(id); }
 
 void Simulator::run_until(SimTime end) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.next_time() <= end) {
-    auto rec = queue_.pop();
+  detail::EventRecord rec;
+  while (!stopped_ && queue_.pop_due(end, rec)) {
     WDC_ASSERT(rec.time >= now_, "clock would go backwards: popped t=", rec.time,
                " with clock at ", now_);
     now_ = rec.time;
@@ -33,8 +33,8 @@ void Simulator::run_until(SimTime end) {
 
 void Simulator::run_all() {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty()) {
-    auto rec = queue_.pop();
+  detail::EventRecord rec;
+  while (!stopped_ && queue_.pop_due(kNever, rec)) {
     WDC_ASSERT(rec.time >= now_, "clock would go backwards: popped t=", rec.time,
                " with clock at ", now_);
     now_ = rec.time;

@@ -53,6 +53,9 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Kernel perf counters (all-zero when compiled out; see kernel_counters.hpp).
+  KernelCounters kernel_counters() const { return queue_.counters(); }
+
   /// Structural audit of the pending-event set (see EventQueue::audit()).
   void audit() const { queue_.audit(); }
 

@@ -20,6 +20,23 @@ struct EventQueueTestPeer {
   static void break_heap_order(EventQueue& q) { q.heap_.back().time = -1e18; }
   /// Claim one more live event than the pending set holds.
   static void inflate_live_count(EventQueue& q) { ++q.live_; }
+  /// Mark the slot backing the heap top as free without unlinking it: the
+  /// heap now references a slot the pool considers available.
+  static void free_pending_slot(EventQueue& q) {
+    q.slots_[q.heap_.front().slot].state = EventQueue::SlotState::kFree;
+  }
+  /// Tie the free list into a self-loop — the signature of a double release.
+  static void cycle_freelist(EventQueue& q) {
+    q.slots_[q.free_head_].next_free = q.free_head_;
+  }
+  /// Zero a live slot's generation: handles would alias across recycling.
+  static void zero_generation(EventQueue& q) {
+    q.slots_[q.heap_.front().slot].gen = 0;
+  }
+  /// Duplicate the top heap entry so two heap records share one slot.
+  static void duplicate_top_entry(EventQueue& q) {
+    q.heap_.push_back(q.heap_.front());
+  }
 };
 
 }  // namespace detail
@@ -176,6 +193,70 @@ TEST(EventQueueDeathTest, PopOnEmptyTripsAssert) {
       {
         EventQueue q;
         q.pop();
+      },
+      "WDC invariant violated");
+#endif
+}
+
+TEST(EventQueueDeathTest, AuditCatchesFreedPendingSlot) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        for (int i = 0; i < 4; ++i)
+          q.push(1.0 + i, EventPriority::kDefault, [] {});
+        detail::EventQueueTestPeer::free_pending_slot(q);
+        q.audit();
+      },
+      "WDC invariant violated");
+#endif
+}
+
+TEST(EventQueueDeathTest, AuditCatchesFreelistCycle) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.push(1.0, EventPriority::kDefault, [] {});
+        q.push(2.0, EventPriority::kDefault, [] {});
+        q.pop();  // releases one slot onto the free list
+        detail::EventQueueTestPeer::cycle_freelist(q);
+        q.audit();
+      },
+      "WDC invariant violated");
+#endif
+}
+
+TEST(EventQueueDeathTest, AuditCatchesZeroedGeneration) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        q.push(1.0, EventPriority::kDefault, [] {});
+        detail::EventQueueTestPeer::zero_generation(q);
+        q.audit();
+      },
+      "WDC invariant violated");
+#endif
+}
+
+TEST(EventQueueDeathTest, AuditCatchesDuplicatedHeapSlot) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        EventQueue q;
+        for (int i = 0; i < 4; ++i)
+          q.push(1.0 + i, EventPriority::kDefault, [] {});
+        detail::EventQueueTestPeer::duplicate_top_entry(q);
+        q.audit();
       },
       "WDC invariant violated");
 #endif

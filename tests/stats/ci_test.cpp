@@ -62,6 +62,25 @@ TEST(ConfidenceIntervalTest, CoverageIsRoughlyNominal) {
   EXPECT_LT(cov, 0.99);
 }
 
+TEST(ConfidenceIntervalTest, ConstantSeriesHasZeroWidth) {
+  // Zero sample variance: the interval must collapse to the point estimate
+  // with no NaN/negative artifacts from the s=0 edge.
+  const auto ci = confidence_interval(std::vector<double>(12, -3.25));
+  EXPECT_DOUBLE_EQ(ci.mean, -3.25);
+  EXPECT_DOUBLE_EQ(ci.half_width, 0.0);
+  EXPECT_DOUBLE_EQ(ci.lo(), -3.25);
+  EXPECT_DOUBLE_EQ(ci.hi(), -3.25);
+  EXPECT_EQ(ci.n, 12u);
+}
+
+TEST(ConfidenceIntervalTest, TwoSampleInterval) {
+  // Smallest n with a defined variance: hw = t(1,.95)·s/√2, s = √2/√2·|a−b|/√2.
+  const auto ci = confidence_interval({1.0, 3.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+  // s = √2, t(1, .95) = 12.706 ⇒ hw = 12.706·√2/√2 = 12.706.
+  EXPECT_NEAR(ci.half_width, 12.706, 1e-2);
+}
+
 TEST(ConfidenceIntervalTest, RelativePrecision) {
   const auto ci = confidence_interval({10.0, 10.0, 10.0});
   EXPECT_DOUBLE_EQ(ci.relative(), 0.0);

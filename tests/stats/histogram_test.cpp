@@ -76,5 +76,46 @@ TEST(Histogram, MergeRejectsIncompatible) {
   EXPECT_THROW(a.merge(b), std::invalid_argument);
 }
 
+TEST(Histogram, QuantileOfSingleSample) {
+  // One sample: every interior quantile interpolates within its bin, and the
+  // answer must bracket the sample's bin regardless of q.
+  Histogram h(0.0, 10.0, 10);
+  h.add(3.5);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_GE(h.quantile(q), h.bin_lo(3));
+    EXPECT_LE(h.quantile(q), h.bin_hi(3));
+  }
+}
+
+TEST(Histogram, QuantileOfConstantSeries) {
+  // All mass in one bin: every interior quantile lands inside that bin.
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 1000; ++i) h.add(7.2);
+  for (double q : {0.05, 0.5, 0.95}) {
+    EXPECT_GE(h.quantile(q), 7.0);
+    EXPECT_LE(h.quantile(q), 8.0);
+  }
+  EXPECT_EQ(h.bin_count(7), 1000u);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a(0.0, 10.0, 10), empty(0.0, 10.0, 10);
+  a.add(2.5);
+  a.add(9.9);
+  const double q50 = a.quantile(0.5);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.quantile(0.5), q50);
+}
+
+TEST(Histogram, AllMassUnderflowedQuantilesCollapseToLo) {
+  // A pathological series entirely below the layout: quantiles must degrade
+  // to the lower edge, not index off the bin array.
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(-5.0);
+  EXPECT_EQ(h.underflow(), 10u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
 }  // namespace
 }  // namespace wdc

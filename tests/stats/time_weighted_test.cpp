@@ -48,5 +48,31 @@ TEST(TimeWeighted, RepeatedUpdatesAtSameInstant) {
   EXPECT_DOUBLE_EQ(tw.average(10.0), 1.0);
 }
 
+TEST(TimeWeighted, NoUpdatesAtStartInstant) {
+  // Averaging at t0 with no observation span and no updates: the signal has
+  // only its initial value to report.
+  TimeWeighted tw(3.0, -2.5);
+  EXPECT_DOUBLE_EQ(tw.average(3.0), -2.5);
+  EXPECT_DOUBLE_EQ(tw.current(), -2.5);
+}
+
+TEST(TimeWeighted, ConstantSeriesManyUpdates) {
+  // A "constant series" written through update(): re-recording the same value
+  // at many instants must not perturb the average (no drift from area
+  // bookkeeping).
+  TimeWeighted tw(0.0, 4.0);
+  for (int i = 1; i <= 100; ++i) tw.update(0.1 * i, 4.0);
+  EXPECT_DOUBLE_EQ(tw.average(10.0), 4.0);
+}
+
+TEST(TimeWeighted, SingleUpdateDominatedByLongTail) {
+  // One step, then a long constant tail: the average must converge toward the
+  // tail value as the window grows.
+  TimeWeighted tw(0.0, 0.0);
+  tw.update(1.0, 10.0);
+  EXPECT_DOUBLE_EQ(tw.average(2.0), 5.0);
+  EXPECT_DOUBLE_EQ(tw.average(100.0), 9.9);
+}
+
 }  // namespace
 }  // namespace wdc
