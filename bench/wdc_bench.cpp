@@ -31,7 +31,8 @@ void print_usage() {
   for (const auto& spec : sweeps::all())
     std::cout << "  " << spec.key << (spec.key.size() < 5 ? "  " : " ") << " "
               << spec.id << ": " << spec.title << "\n";
-  std::cout << "\noptions: reps=3 threads=0 csv=out.csv json=out.json plus any "
+  std::cout << "\noptions: reps=3 threads=0 csv=out.csv json=out.json "
+               "trace_every=0 trace_dir=traces plus any "
                "scenario key\n(threads=0 = all hardware threads over the whole "
                "grid; see EXPERIMENTS.md)\n";
 }

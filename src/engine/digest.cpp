@@ -67,6 +67,9 @@ std::uint64_t metrics_digest(const Metrics& m) {
   // m.kernel is deliberately NOT mixed: perf counters describe how the kernel
   // did the work, not what the model computed, and must not perturb digests
   // between instrumented (-DWDC_PERF_COUNTERS=ON) and stripped builds.
+  // The trace-derived fields (ir_wait_s, uplink_s, bcast_wait_s, airtime_s,
+  // trace_events, trace_dropped) are excluded for the same reason: digests must
+  // be bit-identical between -DWDC_TRACE=ON and OFF builds, traced or not.
   return d.value();
 }
 

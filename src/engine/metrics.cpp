@@ -48,6 +48,14 @@ void Metrics::print(std::ostream& os) const {
                  ull(lair_deferred), lair_mean_deferral_s);
   if (hyb_mean_m > 0.0)
     os << strfmt("HYB                mean m %.2f\n", hyb_mean_m);
+  if (ir_wait_s + uplink_s + bcast_wait_s + airtime_s > 0.0)
+    os << strfmt(
+        "latency decomp     ir-wait %.3fs  uplink %.3fs  bcast-wait %.3fs  "
+        "airtime %.3fs\n",
+        ir_wait_s, uplink_s, bcast_wait_s, airtime_s);
+  if (trace_events > 0)
+    os << strfmt("trace              %llu events (%llu overwritten)\n",
+                 ull(trace_events), ull(trace_dropped));
   if (kernel.scheduled > 0)
     os << strfmt(
         "event kernel       %llu scheduled / %llu fired / %llu cancelled; "

@@ -75,6 +75,18 @@ struct Metrics {
   double lair_mean_deferral_s = 0.0;
   double hyb_mean_m = 0.0;
 
+  // --- query-latency decomposition (trace-derived) ---
+  /// Per-counted-answer means of the four latency components; their sum equals
+  /// mean_latency_s up to float rounding. All zero when tracing is disabled or
+  /// compiled out (-DWDC_TRACE=OFF), and — like `kernel` — excluded from
+  /// metrics_digest() so traced and untraced runs digest identically.
+  double ir_wait_s = 0.0;     ///< query → consistency-point decision
+  double uplink_s = 0.0;      ///< decision → request reaches the server
+  double bcast_wait_s = 0.0;  ///< server → item broadcast starts
+  double airtime_s = 0.0;     ///< item broadcast airtime
+  std::uint64_t trace_events = 0;   ///< events emitted into the trace ring
+  std::uint64_t trace_dropped = 0;  ///< ring overwrites (no file sink attached)
+
   // --- event-kernel perf counters ---
   /// Instrumentation only: all zero under -DWDC_PERF_COUNTERS=OFF, and
   /// deliberately excluded from metrics_digest() so instrumented and stripped

@@ -129,6 +129,14 @@ Metrics mean_of(const std::vector<Metrics>& reps) {
   out.lair_mean_deferral_s =
       avg([](const Metrics& m) { return m.lair_mean_deferral_s; });
   out.hyb_mean_m = avg([](const Metrics& m) { return m.hyb_mean_m; });
+  out.ir_wait_s = avg([](const Metrics& m) { return m.ir_wait_s; });
+  out.uplink_s = avg([](const Metrics& m) { return m.uplink_s; });
+  out.bcast_wait_s = avg([](const Metrics& m) { return m.bcast_wait_s; });
+  out.airtime_s = avg([](const Metrics& m) { return m.airtime_s; });
+  out.trace_events = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.trace_events; }));
+  out.trace_dropped = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.trace_dropped; }));
   const auto avg_count = [&](auto field) {
     return static_cast<std::uint64_t>(
         avg([field](const Metrics& m) { return static_cast<double>(m.kernel.*field); }));

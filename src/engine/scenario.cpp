@@ -122,6 +122,11 @@ Scenario Scenario::from_config(const Config& c, const Scenario& base) {
 
   s.uplink.base_delay_s = c.get_double("uplink_delay", s.uplink.base_delay_s);
 
+  s.trace.enabled = c.get_bool("trace", s.trace.enabled);
+  s.trace.ring_capacity = static_cast<std::uint32_t>(
+      c.get_int("trace_ring", s.trace.ring_capacity));
+  s.trace.file = c.get_string("trace_file", s.trace.file);
+
   s.snr_assignment = snr_assignment_from_string(
       c.get_string("snr_assignment", to_string(s.snr_assignment)));
   s.mean_snr_db = c.get_double("mean_snr", s.mean_snr_db);
@@ -153,6 +158,8 @@ void Scenario::validate() const {
     throw std::invalid_argument("Scenario: cache_capacity > 0");
   if (db.num_items == 0) throw std::invalid_argument("Scenario: items > 0");
   if (edge_timeslots == 0) throw std::invalid_argument("Scenario: timeslots >= 1");
+  if (trace.enabled && trace.ring_capacity == 0)
+    throw std::invalid_argument("Scenario: trace_ring > 0 when tracing");
 }
 
 }  // namespace wdc

@@ -15,6 +15,7 @@
 #include "mac/uplink.hpp"
 #include "phy/mcs.hpp"
 #include "proto/protocol.hpp"
+#include "trace/trace_recorder.hpp"
 #include "util/config.hpp"
 #include "workload/database.hpp"
 #include "workload/query_gen.hpp"
@@ -57,6 +58,8 @@ struct Scenario {
   FadingConfig fading;
   MacConfig mac;
   UplinkConfig uplink;
+  /// Query-lifecycle tracing (off by default; zero-cost when WDC_TRACE=OFF).
+  TraceConfig trace;
 
   // --- radio geometry / link budget ---
   SnrAssignment snr_assignment = SnrAssignment::kUniform;

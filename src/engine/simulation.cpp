@@ -35,9 +35,11 @@ Simulation::Simulation(Scenario scenario)
     links_.push_back(
         make_snr_process(scenario_.fading, client_mean_snr(geo_rng), link_rng));
     sleeps_.push_back(std::make_unique<SleepModel>(
-        sim_, scenario_.sleep, wl_rng.split(), [this, i](bool awake) {
+        sim_, scenario_.sleep, wl_rng.split(),
+        [this, i](bool awake) {
           if (i < clients_.size()) clients_[i]->on_sleep_transition(awake);
-        }));
+        },
+        static_cast<ClientId>(i)));
   }
   for (std::uint32_t i = 0; i < M; ++i) {
     SleepModel* sleep = sleeps_[i].get();
@@ -60,6 +62,16 @@ Simulation::Simulation(Scenario scenario)
   traffic_ = std::make_unique<TrafficGenerator>(
       sim_, scenario_.traffic, M, wl_rng.split(),
       [this](const TrafficFrame& frame) { server_->on_downlink_frame(frame); });
+
+  // Tracing is configured last (it never consumes randomness, so enabling it
+  // cannot perturb the seed chain above).
+  TraceMeta meta;
+  meta.protocol = to_string(scenario_.protocol);
+  meta.seed = scenario_.seed;
+  meta.sim_time_s = scenario_.sim_time_s;
+  meta.warmup_s = scenario_.warmup_s;
+  meta.num_clients = scenario_.num_clients;
+  sim_.trace().configure(scenario_.trace, meta);
 
   server_->start();
 }
@@ -84,6 +96,7 @@ Metrics Simulation::run() {
   if (ran_) throw std::logic_error("Simulation::run called twice");
   ran_ = true;
   sim_.run_until(scenario_.sim_time_s);
+  sim_.trace().finalize();  // flush any trace file before metrics are read
   return collect();
 }
 
@@ -163,6 +176,19 @@ Metrics Simulation::collect() const {
           : 0.0;
   if (const auto* hyb = dynamic_cast<const ServerHyb*>(server_.get()))
     m.hyb_mean_m = hyb->m_history().mean();
+
+  // Latency decomposition (zero when tracing is off or compiled out). Means
+  // over counted answered queries; excluded from digests like m.kernel.
+  const TraceDecomp td = sim_.trace().decomposition();
+  if (td.answers > 0) {
+    const double n = static_cast<double>(td.answers);
+    m.ir_wait_s = td.ir_wait_s / n;
+    m.uplink_s = td.uplink_s / n;
+    m.bcast_wait_s = td.bcast_wait_s / n;
+    m.airtime_s = td.airtime_s / n;
+  }
+  m.trace_events = sim_.trace().events();
+  m.trace_dropped = sim_.trace().dropped();
 
   m.kernel = sim_.kernel_counters();
   return m;

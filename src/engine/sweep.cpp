@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <ostream>
@@ -106,6 +107,11 @@ SweepGrid run_sweep(const SweepSpec& spec, const SweepOptions& opts,
     return grid;
   }
 
+  if (opts.trace_every > 0 && !opts.trace_dir.empty()) {
+    std::error_code ec;  // best-effort: a failed mkdir degrades to ring-only
+    std::filesystem::create_directories(opts.trace_dir, ec);
+  }
+
   unsigned threads = opts.threads;
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -134,6 +140,15 @@ SweepGrid run_sweep(const SweepSpec& spec, const SweepOptions& opts,
       SweepCell& cell = grid.cells[c];
       Scenario sc = scenarios[c];
       sc.seed = cell.seeds[r];
+      // Trace sampling rides on the already-derived seed, so enabling it can
+      // never change which scenarios run or what they compute.
+      if (opts.trace_every > 0 && r % opts.trace_every == 0) {
+        sc.trace.enabled = true;
+        if (!opts.trace_dir.empty())
+          sc.trace.file = strfmt("%s/%s_v%zu_p%zu_r%zu.wdct",
+                                 opts.trace_dir.c_str(), spec.key.c_str(),
+                                 cell.variant, cell.point, r);
+      }
       const auto rep_t0 = std::chrono::steady_clock::now();
       cell.reps[r] = run_scenario(sc);
       task_wall[t] = seconds_since(rep_t0);
@@ -271,6 +286,31 @@ void write_kernel_block(std::ostream& os, const std::vector<Metrics>& reps) {
   os << "}}";
 }
 
+/// Mean of one Metrics double across a cell's replications.
+template <typename Field>
+double metrics_mean(const std::vector<Metrics>& reps, Field field) {
+  if (reps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : reps) sum += field(m);
+  return sum / static_cast<double>(reps.size());
+}
+
+/// Per-cell trace-derived latency decomposition (all zero when tracing was off
+/// for every replication — the schema stays stable either way).
+void write_decomp_block(std::ostream& os, const std::vector<Metrics>& reps) {
+  os << "\"latency_decomposition\": {"
+     << "\"ir_wait_s\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) { return m.ir_wait_s; }))
+     << ", \"uplink_s\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) { return m.uplink_s; }))
+     << ", \"bcast_wait_s\": "
+     << json_num(
+            metrics_mean(reps, [](const Metrics& m) { return m.bcast_wait_s; }))
+     << ", \"airtime_s\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) { return m.airtime_s; }))
+     << "}";
+}
+
 }  // namespace
 
 bool write_json(const SweepSpec& spec, const SweepOptions& opts,
@@ -311,6 +351,8 @@ bool write_json(const SweepSpec& spec, const SweepOptions& opts,
          << json_num(ci.half_width) << ", \"n\": " << ci.n << "}";
     }
     os << "},\n     ";
+    write_decomp_block(os, cell.reps);
+    os << ",\n     ";
     write_kernel_block(os, cell.reps);
     os << "}";
   }

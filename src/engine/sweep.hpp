@@ -86,6 +86,12 @@ struct SweepOptions {
   unsigned reps = 3;
   unsigned threads = 0;  ///< workers shared across the whole grid; 0 = hardware
   Scenario base;
+  /// Trace sampling: record a query-lifecycle trace for every k-th replication
+  /// of each cell (0 = never). Sampled replications write one .wdct file into
+  /// trace_dir, named <key>_v<variant>_p<point>_r<rep>.wdct. Tracing never
+  /// perturbs results: seeds are derived before the trace config is applied.
+  unsigned trace_every = 0;
+  std::string trace_dir = "traces";
 };
 
 /// One executed (variant, point) cell.

@@ -87,7 +87,15 @@ void BroadcastMac::try_start() {
       kind_stats_[k].queue_delay.add(sim_.now() - q.enqueued_at);
     const std::size_t mcs = pick_mcs(q.msg);
     const double airtime = table_.airtime_s(q.msg.bits, mcs);
-    if (q.msg.is_broadcast()) bcast_mcs_.add(static_cast<double>(mcs));
+    if (q.msg.is_broadcast()) {
+      bcast_mcs_.add(static_cast<double>(mcs));
+      auto& tr = sim_.trace();
+      if (tr.enabled() && last_bcast_mcs_ != kNoMcsYet && mcs != last_bcast_mcs_)
+        tr.emit(TraceEventKind::kMcsSwitch, sim_.now(), kInvalidClient,
+                kInvalidItem, static_cast<double>(mcs),
+                static_cast<double>(last_bcast_mcs_));
+      last_bcast_mcs_ = mcs;
+    }
     current_ = InFlight{std::move(q), mcs, airtime};
     busy_tw_.update(sim_.now(), 1.0);
     sim_.schedule_in(airtime, [this] { finish(); }, EventPriority::kTxDone);

@@ -145,9 +145,14 @@ class BroadcastMac {
   std::vector<PortEntry> ports_;
   AmcController bcast_amc_;
 
+  /// Sentinel for "no broadcast transmitted yet" (MCS-switch trace events
+  /// compare against the previous broadcast MCS).
+  static constexpr std::size_t kNoMcsYet = static_cast<std::size_t>(-1);
+
   std::array<MacKindStats, kNumMsgKinds> kind_stats_;
   TimeWeighted busy_tw_;
   Summary bcast_mcs_;
+  std::size_t last_bcast_mcs_ = kNoMcsYet;
   TxObserver tx_observer_;
   mutable std::uint64_t mutations_ = 0;
 };

@@ -8,9 +8,13 @@ namespace wdc {
 UplinkChannel::UplinkChannel(Simulator& sim, UplinkConfig cfg, Rng rng)
     : sim_(sim), cfg_(cfg), rng_(rng) {}
 
-void UplinkChannel::send(ClientId /*from*/, Bits bits, std::function<void()> deliver) {
+void UplinkChannel::send(ClientId from, Bits bits, std::function<void()> deliver) {
   ++requests_;
   bits_ += bits;
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kUplinkSend, sim_.now(), from, kInvalidItem,
+            static_cast<double>(bits));
   ++in_flight_;
   const double load = static_cast<double>(in_flight_);
   double delay = cfg_.base_delay_s;

@@ -6,6 +6,9 @@ namespace wdc {
 
 void ClientNc::on_query(ItemId item) {
   sink_.record_query(sim_.now());
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kQuerySubmit, sim_.now(), id(), item);
   // Fetch immediately; no cache, no consistency wait. Multiple queries for the
   // same item share one in-flight request.
   const bool already = awaiting_item(item);
@@ -40,6 +43,9 @@ void ServerPer::on_poll(ClientId from, ItemId item, Version version) {
 
 void ClientPer::on_query(ItemId item) {
   sink_.record_query(sim_.now());
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kQuerySubmit, sim_.now(), id(), item);
   const CacheEntry* entry = cache_.peek(item);
   if (entry == nullptr) {
     // Plain miss: fetch (shares an in-flight request like NC).
@@ -67,8 +73,13 @@ void ClientPer::on_sleep_transition(bool awake) {
   ClientProtocol::on_sleep_transition(awake);
   if (awake) return;
   // Reads waiting on poll verdicts are abandoned like any pending query.
+  auto& tr = sim_.trace();
   for (const auto& [item, qtimes] : polls_in_flight_)
-    for (const SimTime qtime : qtimes) sink_.record_dropped(qtime);
+    for (const SimTime qtime : qtimes) {
+      sink_.record_dropped(qtime);
+      if (tr.enabled())
+        tr.emit(TraceEventKind::kQueryDrop, sim_.now(), id(), item);
+    }
   polls_in_flight_.clear();
 }
 

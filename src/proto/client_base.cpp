@@ -39,21 +39,34 @@ ClientProtocol::ClientProtocol(Simulator& sim, BroadcastMac& mac,
 
 void ClientProtocol::on_query(ItemId item) {
   sink_.record_query(sim_.now());
+  auto& tr = sim_.trace();
+  if (tr.enabled()) tr.emit(TraceEventKind::kQuerySubmit, sim_.now(), id_, item);
   // If a request for this item is already in flight, ride on it.
   enqueue_pending(item, sim_.now(), awaiting_item(item));
 }
 
 void ClientProtocol::enqueue_pending(ItemId item, SimTime qtime, bool awaiting) {
-  pending_.push_back(PendingQuery{item, qtime, awaiting});
+  // decided_at starts at the enqueue instant: for queries decided later it is
+  // overwritten in answer_pending(); for queries enqueued already-awaiting
+  // (ride-along fetches, PER's invalid-poll path) the decision IS now.
+  pending_.push_back(PendingQuery{item, qtime, sim_.now(), awaiting});
+  auto& tr = sim_.trace();
+  if (tr.enabled() && !awaiting)
+    tr.emit(TraceEventKind::kIrWaitBegin, sim_.now(), id_, item);
 }
 
 void ClientProtocol::on_sleep_transition(bool awake) {
   note_radio_state();
   if (awake) return;  // wake-up: the next report re-synchronises us
   // Going to sleep: abandon pending queries and their re-request timers.
-  for (const auto& q : pending_) sink_.record_dropped(q.qtime);
+  auto& tr = sim_.trace();
+  for (const auto& q : pending_) {
+    sink_.record_dropped(q.qtime);
+    if (tr.enabled())
+      tr.emit(TraceEventKind::kQueryDrop, sim_.now(), id_, q.item);
+  }
   pending_.clear();
-  for (auto& rt : request_timers_) sim_.cancel(rt.second);
+  for (auto& rt : request_timers_) sim_.cancel(rt.timer);
   request_timers_.clear();
 }
 
@@ -144,7 +157,7 @@ void ClientProtocol::on_reception(const Reception& rx) {
       if (rx.msg.dest == id_) handle_control(rx.msg);
       break;
     case MsgKind::kItemData:
-      handle_item(rx.msg);
+      handle_item(rx.msg, rx.airtime_s);
       break;
     case MsgKind::kDownlinkData:
       handle_data(rx.msg);
@@ -152,7 +165,7 @@ void ClientProtocol::on_reception(const Reception& rx) {
   }
 }
 
-void ClientProtocol::handle_item(const Message& msg) {
+void ClientProtocol::handle_item(const Message& msg, double airtime_s) {
   const auto payload = std::dynamic_pointer_cast<const ItemPayload>(msg.payload);
   if (!payload || msg.item == kInvalidItem) return;
 
@@ -166,7 +179,14 @@ void ClientProtocol::handle_item(const Message& msg) {
     entry.validated_at = payload->content_time;
     cache_.put(entry);
   }
-  if (awaiting) complete_awaiting(msg.item, payload->version, payload->content_time);
+  if (awaiting) {
+    auto& tr = sim_.trace();
+    if (tr.enabled())
+      tr.emit(TraceEventKind::kBroadcastReceive, sim_.now(), id_, msg.item,
+              airtime_s);
+    complete_awaiting(msg.item, payload->version, payload->content_time,
+                      airtime_s);
+  }
   on_item_received(msg, *payload, awaiting);
   if (payload->digest) handle_digest(*payload->digest);
 }
@@ -250,14 +270,20 @@ void ClientProtocol::finish_report(SimTime stamp) {
 void ClientProtocol::answer_pending(bool via_digest) {
   // Decide every pending, non-awaiting query issued at or before the consistency
   // point. Misses turn into awaiting queries (uplink request in flight).
+  auto& tr = sim_.trace();
   for (auto& q : pending_) {
     if (q.awaiting || q.qtime > tc_ + kEps) continue;
+    if (tr.enabled())
+      tr.emit(TraceEventKind::kIrWaitEnd, sim_.now(), id_, q.item);
     CacheEntry* entry = cache_.get(q.item);
     if (entry != nullptr) {
       record_hit_answer(q.qtime, q.item, entry->version, tc_, via_digest);
       q.item = kInvalidItem;  // mark for removal
     } else {
       q.awaiting = true;
+      q.decided_at = sim_.now();
+      if (tr.enabled())
+        tr.emit(TraceEventKind::kCacheMiss, sim_.now(), id_, q.item);
       decide_miss(q.item);
     }
   }
@@ -284,6 +310,19 @@ void ClientProtocol::record_hit_answer(SimTime qtime, ItemId item, Version versi
             " != oracle version at consistency point ", consistency_time);
   sink_.record_answer(qtime, latency, /*hit=*/true, stale);
   if (via_digest) sink_.record_digest_answer();
+  auto& tr = sim_.trace();
+  if (tr.enabled()) {
+    tr.emit(stale ? TraceEventKind::kCacheStale : TraceEventKind::kCacheHit,
+            sim_.now(), id_, item);
+    // A hit spends its whole life waiting for the certifying report: the
+    // entire latency is IR wait.
+    const LatencyBreakdown bd{latency, 0.0, 0.0, 0.0};
+    uint8_t flags = kTraceFlagHit;
+    if (stale) flags |= kTraceFlagStale;
+    if (sink_.counted(qtime)) flags |= kTraceFlagCounted;
+    if (via_digest) flags |= kTraceFlagViaDigest;
+    tr.answer(sim_.now(), id_, item, bd, flags);
+  }
 }
 
 void ClientProtocol::decide_miss(ItemId item) {
@@ -300,8 +339,19 @@ void ClientProtocol::await_item(ItemId item) {
 }
 
 void ClientProtocol::send_request(ItemId item) {
-  uplink_.send(id_, cfg_.request_bits,
-               [this, item] { server_.on_request(id_, item); });
+  uplink_.send(id_, cfg_.request_bits, [this, item] {
+    note_uplink_delivered(item);
+    server_.on_request(id_, item);
+  });
+}
+
+void ClientProtocol::note_uplink_delivered(ItemId item) {
+  for (auto& rt : request_timers_) {
+    if (rt.item == item) {
+      rt.delivered_at = sim_.now();
+      return;
+    }
+  }
 }
 
 void ClientProtocol::arm_request_timer(ItemId item) {
@@ -310,28 +360,34 @@ void ClientProtocol::arm_request_timer(ItemId item) {
       [this, item] {
         // The broadcast never arrived (lost or dropped): ask again.
         sink_.record_request_retry();
+        auto& tr = sim_.trace();
+        if (tr.enabled())
+          tr.emit(TraceEventKind::kUplinkRetry, sim_.now(), id_, item);
         send_request(item);
         arm_request_timer(item);
       },
       EventPriority::kProtocol);
   for (auto& rt : request_timers_) {
-    if (rt.first == item) {
-      rt.second = timer;
+    if (rt.item == item) {
+      rt.timer = timer;
       return;
     }
   }
-  request_timers_.emplace_back(item, timer);
+  request_timers_.push_back(RequestState{item, timer, -1.0});
 }
 
 void ClientProtocol::complete_awaiting(ItemId item, Version version,
-                                       SimTime content_time) {
+                                       SimTime content_time, double airtime_s) {
+  SimTime delivered_at = -1.0;
   for (auto it = request_timers_.begin(); it != request_timers_.end(); ++it) {
-    if (it->first != item) continue;
-    sim_.cancel(it->second);
+    if (it->item != item) continue;
+    delivered_at = it->delivered_at;
+    sim_.cancel(it->timer);
     request_timers_.erase(it);
     note_radio_state();
     break;
   }
+  auto& tr = sim_.trace();
   for (auto& q : pending_) {
     if (!q.awaiting || q.item != item) continue;
     const double latency = sim_.now() - q.qtime;
@@ -342,6 +398,21 @@ void ClientProtocol::complete_awaiting(ItemId item, Version version,
               " served a STALE fetched copy of item ", item, ": version ",
               version, " != oracle version at content time ", content_time);
     sink_.record_answer(q.qtime, latency, /*hit=*/false, stale);
+    if (tr.enabled()) {
+      // Clamped monotone timestamp chain: t0 <= t1 <= t2 <= t3 <= now, so the
+      // four components telescope exactly to the measured latency.
+      const SimTime now = sim_.now();
+      const SimTime t0 = q.qtime;
+      const SimTime t1 = std::clamp(q.decided_at, t0, now);
+      const SimTime t2 =
+          std::clamp(delivered_at < 0.0 ? t1 : delivered_at, t1, now);
+      const SimTime t3 = std::clamp(now - airtime_s, t2, now);
+      const LatencyBreakdown bd{t1 - t0, t2 - t1, t3 - t2, now - t3};
+      uint8_t flags = 0;
+      if (stale) flags |= kTraceFlagStale;
+      if (sink_.counted(q.qtime)) flags |= kTraceFlagCounted;
+      tr.answer(now, id_, item, bd, flags);
+    }
     q.item = kInvalidItem;
   }
   pending_.erase(std::remove_if(pending_.begin(), pending_.end(),

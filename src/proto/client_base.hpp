@@ -143,7 +143,7 @@ class ClientProtocol {
   /// True if an uplink fetch for `item` is in flight.
   bool awaiting_item(ItemId item) const {
     for (const auto& rt : request_timers_)
-      if (rt.first == item) return true;
+      if (rt.item == item) return true;
     return false;
   }
 
@@ -160,13 +160,17 @@ class ClientProtocol {
 
  private:
   void on_reception(const Reception& rx);
-  void handle_item(const Message& msg);
+  void handle_item(const Message& msg, double airtime_s);
   void handle_data(const Message& msg);
   /// Answer pending queries decidable at the current consistency point.
   void answer_pending(bool via_digest = false);
   void send_request(ItemId item);
   void arm_request_timer(ItemId item);
-  void complete_awaiting(ItemId item, Version version, SimTime content_time);
+  /// Uplink delivery callback: stamps the request's delivered_at (the t2 of
+  /// the latency decomposition) just before the server handles it.
+  void note_uplink_delivered(ItemId item);
+  void complete_awaiting(ItemId item, Version version, SimTime content_time,
+                         double airtime_s);
 
   // --- selective tuning ---
   void schedule_tune_open();
@@ -178,7 +182,19 @@ class ClientProtocol {
   struct PendingQuery {
     ItemId item;
     SimTime qtime;
+    /// When the query's fate was decided (consistency point / immediate-fetch
+    /// instant). Feeds the trace latency decomposition; equals qtime until a
+    /// decision is made.
+    SimTime decided_at;
     bool awaiting = false;  ///< miss decided; waiting for the item broadcast
+  };
+
+  /// One in-flight uplink fetch: its re-request timer and, for the trace
+  /// decomposition, when the last request for it reached the server.
+  struct RequestState {
+    ItemId item;
+    EventId timer;
+    SimTime delivered_at = -1.0;  ///< < 0: still in flight
   };
 
   BroadcastMac& mac_;
@@ -191,7 +207,7 @@ class ClientProtocol {
   /// In-flight uplink fetches and their re-request timers. A client awaits a
   /// handful of items at most, so a flat scan beats hashing — and report
   /// application probes this on the hot path.
-  std::vector<std::pair<ItemId, EventId>> request_timers_;
+  std::vector<RequestState> request_timers_;
 
   bool tuned_on_ = true;       ///< selective tuning: window currently open
   std::uint64_t grid_tick_ = 0;

@@ -14,7 +14,10 @@ ServerProtocol::ServerProtocol(Simulator& sim, BroadcastMac& mac, Database& db,
   });
 }
 
-void ServerProtocol::on_request(ClientId /*from*/, ItemId item) {
+void ServerProtocol::on_request(ClientId from, ItemId item) {
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kUplinkDeliver, sim_.now(), from, item);
   if (pending_broadcast_.count(item) > 0) {
     ++coalesced_;
     return;  // a broadcast of this item is already queued; the requester snoops it

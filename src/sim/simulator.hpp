@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "sim/event_queue.hpp"
+#include "trace/trace_recorder.hpp"
 #include "util/check.hpp"
 #include "util/types.hpp"
 
@@ -56,11 +57,18 @@ class Simulator {
   /// Kernel perf counters (all-zero when compiled out; see kernel_counters.hpp).
   KernelCounters kernel_counters() const { return queue_.counters(); }
 
+  /// Query-lifecycle trace recorder (a no-op under -DWDC_TRACE=OFF; see
+  /// trace_recorder.hpp). Owned here so every component holding a Simulator&
+  /// can emit without extra wiring.
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
   /// Structural audit of the pending-event set (see EventQueue::audit()).
   void audit() const { queue_.audit(); }
 
  private:
   EventQueue queue_;
+  TraceRecorder trace_;
   SimTime now_ = 0.0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;

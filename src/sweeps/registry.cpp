@@ -18,6 +18,8 @@ SweepOptions options_from_config(const Config& cfg) {
   SweepOptions opts;
   opts.reps = static_cast<unsigned>(cfg.get_int("reps", 3));
   opts.threads = static_cast<unsigned>(cfg.get_int("threads", 0));
+  opts.trace_every = static_cast<unsigned>(cfg.get_int("trace_every", 0));
+  opts.trace_dir = cfg.get_string("trace_dir", opts.trace_dir);
   opts.base = Scenario::from_config(cfg, default_scenario());
   return opts;
 }

@@ -1,0 +1,26 @@
+#include "trace/trace_event.hpp"
+
+namespace wdc {
+
+const char* to_string(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kQuerySubmit: return "QUERY_SUBMIT";
+    case TraceEventKind::kIrWaitBegin: return "IR_WAIT_BEGIN";
+    case TraceEventKind::kIrWaitEnd: return "IR_WAIT_END";
+    case TraceEventKind::kCacheHit: return "CACHE_HIT";
+    case TraceEventKind::kCacheStale: return "CACHE_STALE";
+    case TraceEventKind::kCacheMiss: return "CACHE_MISS";
+    case TraceEventKind::kUplinkSend: return "UPLINK_SEND";
+    case TraceEventKind::kUplinkRetry: return "UPLINK_RETRY";
+    case TraceEventKind::kUplinkDeliver: return "UPLINK_DELIVER";
+    case TraceEventKind::kBroadcastReceive: return "BCAST_RECEIVE";
+    case TraceEventKind::kAnswer: return "ANSWER";
+    case TraceEventKind::kQueryDrop: return "QUERY_DROP";
+    case TraceEventKind::kSleep: return "SLEEP";
+    case TraceEventKind::kWake: return "WAKE";
+    case TraceEventKind::kMcsSwitch: return "MCS_SWITCH";
+  }
+  return "?";
+}
+
+}  // namespace wdc

@@ -1,0 +1,78 @@
+#ifndef WDC_TRACE_TRACE_EVENT_HPP
+#define WDC_TRACE_TRACE_EVENT_HPP
+
+/// @file trace_event.hpp
+/// Typed POD trace events — the wire/record format of the query-lifecycle
+/// tracing subsystem (DESIGN.md; docs/ANALYSIS.md "Query-lifecycle tracing").
+///
+/// One record is exactly 32 bytes, trivially copyable, and carries no pointers,
+/// so a ring of them is cache-friendly, a file of them is seekable, and the
+/// binary format is a straight memcpy of the in-memory layout (native endian —
+/// traces are machine-local diagnostics, not interchange files).
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "util/types.hpp"
+
+namespace wdc {
+
+/// What happened. The kinds follow one query's lifecycle (submit → IR wait →
+/// hit, or → miss → uplink → broadcast → answer), plus the client/channel
+/// state changes that explain why a phase was slow (sleep/wake, MCS switches).
+enum class TraceEventKind : std::uint8_t {
+  kQuerySubmit = 0,     ///< application issued a query
+  kIrWaitBegin = 1,     ///< query queued until the next consistency point
+  kIrWaitEnd = 2,       ///< consistency point reached; query decided
+  kCacheHit = 3,        ///< decided as a hit (answered immediately)
+  kCacheStale = 4,      ///< decided as a hit that the oracle calls stale
+  kCacheMiss = 5,       ///< decided as a miss (uplink fetch begins)
+  kUplinkSend = 6,      ///< uplink message left the client (a = bits)
+  kUplinkRetry = 7,     ///< re-request after request_timeout_s
+  kUplinkDeliver = 8,   ///< uplink message arrived at the server
+  kBroadcastReceive = 9,///< awaited item broadcast decoded (a = airtime_s)
+  kAnswer = 10,         ///< query answered (a..d = latency decomposition)
+  kQueryDrop = 11,      ///< pending query abandoned (client went to sleep)
+  kSleep = 12,          ///< client radio off (sleep model)
+  kWake = 13,           ///< client radio back on
+  kMcsSwitch = 14,      ///< broadcast MCS changed (a = new, b = previous)
+};
+inline constexpr std::size_t kNumTraceEventKinds = 15;
+
+const char* to_string(TraceEventKind k);
+
+// kAnswer flag bits.
+inline constexpr std::uint8_t kTraceFlagHit = 0x01;
+inline constexpr std::uint8_t kTraceFlagStale = 0x02;
+inline constexpr std::uint8_t kTraceFlagCounted = 0x04;  ///< past warm-up
+inline constexpr std::uint8_t kTraceFlagViaDigest = 0x08;
+
+/// One trace record. `a`..`d` are kind-specific payload slots; for kAnswer they
+/// carry the latency decomposition (ir_wait, uplink, bcast_wait, airtime in
+/// seconds). Exact sums live in Metrics; the floats here are for inspection.
+struct TraceEvent {
+  double t = 0.0;  ///< simulation time of the event
+  float a = 0.0f;
+  float b = 0.0f;
+  float c = 0.0f;
+  float d = 0.0f;
+  std::uint32_t item = 0;
+  std::uint16_t client = 0;
+  std::uint8_t kind = 0;
+  std::uint8_t flags = 0;
+};
+static_assert(sizeof(TraceEvent) == 32, "TraceEvent must stay 32 bytes");
+static_assert(std::is_trivially_copyable_v<TraceEvent>,
+              "TraceEvent records are memcpy'd into rings and files");
+
+/// ClientId → record field. The record narrows to 16 bits; kInvalidClient (and
+/// any id that would not fit) maps to the all-ones sentinel.
+inline constexpr std::uint16_t kTraceNoClient = 0xffff;
+constexpr std::uint16_t trace_client(ClientId id) {
+  return id >= kTraceNoClient ? kTraceNoClient : static_cast<std::uint16_t>(id);
+}
+
+}  // namespace wdc
+
+#endif  // WDC_TRACE_TRACE_EVENT_HPP

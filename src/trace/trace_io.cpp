@@ -1,0 +1,98 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <ostream>
+
+#include "util/string_util.hpp"
+
+namespace wdc {
+
+TraceFileHeader make_trace_header(const TraceMeta& meta) {
+  TraceFileHeader h;
+  std::memcpy(h.magic, kTraceMagic, sizeof(h.magic));
+  h.version = kTraceFormatVersion;
+  h.event_bytes = sizeof(TraceEvent);
+  // NUL-padded, silently truncated: the protocol field is a label, not data.
+  std::memset(h.protocol, 0, sizeof(h.protocol));
+  std::memcpy(h.protocol, meta.protocol.data(),
+              std::min(meta.protocol.size(), sizeof(h.protocol) - 1));
+  h.seed = meta.seed;
+  h.sim_time_s = meta.sim_time_s;
+  h.warmup_s = meta.warmup_s;
+  h.num_clients = meta.num_clients;
+  return h;
+}
+
+bool TraceFileWriter::open(const std::string& path,
+                           const TraceFileHeader& header) {
+  os_.open(path, std::ios::binary | std::ios::trunc);
+  if (!os_) {
+    ok_ = false;
+    return false;
+  }
+  os_.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  ok_ = static_cast<bool>(os_);
+  return ok_;
+}
+
+void TraceFileWriter::append(const TraceEvent* events, std::size_t count) {
+  if (!ok_ || count == 0) return;
+  os_.write(reinterpret_cast<const char*>(events),
+            static_cast<std::streamsize>(count * sizeof(TraceEvent)));
+  ok_ = static_cast<bool>(os_);
+}
+
+void TraceFileWriter::close() {
+  if (os_.is_open()) {
+    os_.close();
+    ok_ = ok_ && !os_.fail();
+  }
+}
+
+std::string TraceFile::protocol() const {
+  const char* p = header.protocol;
+  return std::string(p, strnlen(p, sizeof(header.protocol)));
+}
+
+bool read_trace_file(const std::string& path, TraceFile* out,
+                     std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return fail("cannot open " + path);
+  TraceFileHeader h;
+  is.read(reinterpret_cast<char*>(&h), sizeof(h));
+  if (!is) return fail(path + ": truncated header");
+  if (std::memcmp(h.magic, kTraceMagic, sizeof(h.magic)) != 0)
+    return fail(path + ": not a wdc trace (bad magic)");
+  if (h.version != kTraceFormatVersion)
+    return fail(strfmt("%s: format version %u (reader understands %u)",
+                       path.c_str(), h.version, kTraceFormatVersion));
+  if (h.event_bytes != sizeof(TraceEvent))
+    return fail(strfmt("%s: %u-byte records (reader expects %zu)", path.c_str(),
+                       h.event_bytes, sizeof(TraceEvent)));
+  out->header = h;
+  out->events.clear();
+  TraceEvent ev;
+  while (is.read(reinterpret_cast<char*>(&ev), sizeof(ev)))
+    out->events.push_back(ev);
+  if (is.gcount() != 0) return fail(path + ": trailing partial record");
+  return true;
+}
+
+void write_trace_jsonl(const TraceFile& file, std::ostream& os) {
+  for (const TraceEvent& ev : file.events) {
+    os << strfmt(
+        "{\"t\": %.9f, \"kind\": \"%s\", \"client\": %u, \"item\": %u, "
+        "\"a\": %g, \"b\": %g, \"c\": %g, \"d\": %g, \"flags\": %u}\n",
+        ev.t, to_string(static_cast<TraceEventKind>(ev.kind)),
+        static_cast<unsigned>(ev.client), ev.item,
+        static_cast<double>(ev.a), static_cast<double>(ev.b),
+        static_cast<double>(ev.c), static_cast<double>(ev.d),
+        static_cast<unsigned>(ev.flags));
+  }
+}
+
+}  // namespace wdc

@@ -1,0 +1,80 @@
+#ifndef WDC_TRACE_TRACE_IO_HPP
+#define WDC_TRACE_TRACE_IO_HPP
+
+/// @file trace_io.hpp
+/// Trace sinks: the compact binary .wdct file format (writer + reader) and a
+/// JSONL export for ad-hoc tooling.
+///
+/// Format: a fixed 64-byte header (magic "WDCTRC01", format constants, run
+/// identity) followed by sizeof(TraceEvent)-byte records to EOF, all native
+/// endian — a trace is a machine-local diagnostic, written and read on the
+/// same host, so no serialisation layer is warranted. The reader validates
+/// magic, version, and record size so a stale tool fails loudly instead of
+/// misparsing.
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+#include "trace/trace_recorder.hpp"
+
+namespace wdc {
+
+inline constexpr char kTraceMagic[8] = {'W', 'D', 'C', 'T', 'R', 'C', '0', '1'};
+inline constexpr std::uint32_t kTraceFormatVersion = 1;
+
+/// On-disk header, written verbatim.
+struct TraceFileHeader {
+  char magic[8] = {};
+  std::uint32_t version = 0;
+  std::uint32_t event_bytes = 0;  ///< sizeof(TraceEvent) at write time
+  char protocol[16] = {};         ///< NUL-padded protocol name
+  std::uint64_t seed = 0;
+  double sim_time_s = 0.0;
+  double warmup_s = 0.0;
+  std::uint32_t num_clients = 0;
+  std::uint32_t reserved = 0;
+};
+static_assert(sizeof(TraceFileHeader) == 64, "header layout is pinned");
+static_assert(std::is_trivially_copyable_v<TraceFileHeader>,
+              "header is written verbatim");
+
+/// Stamp run identity into a header ready for TraceFileWriter::open().
+TraceFileHeader make_trace_header(const TraceMeta& meta);
+
+/// Streaming event writer (the recorder drains its ring through this).
+class TraceFileWriter {
+ public:
+  /// Open `path` and write the header. False (and ok() false) on failure.
+  bool open(const std::string& path, const TraceFileHeader& header);
+  void append(const TraceEvent* events, std::size_t count);
+  void close();
+  bool ok() const { return ok_; }
+
+ private:
+  std::ofstream os_;
+  bool ok_ = false;
+};
+
+/// A fully loaded trace.
+struct TraceFile {
+  TraceFileHeader header;
+  std::vector<TraceEvent> events;
+  /// header.protocol as a string (NUL padding stripped).
+  std::string protocol() const;
+};
+
+/// Load a .wdct file. On failure returns false and, when `error` is non-null,
+/// stores a one-line reason.
+bool read_trace_file(const std::string& path, TraceFile* out,
+                     std::string* error = nullptr);
+
+/// Export every event as one JSON object per line.
+void write_trace_jsonl(const TraceFile& file, std::ostream& os);
+
+}  // namespace wdc
+
+#endif  // WDC_TRACE_TRACE_IO_HPP

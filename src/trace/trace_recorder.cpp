@@ -1,0 +1,92 @@
+#include "trace/trace_recorder.hpp"
+
+#if WDC_TRACE_ENABLED
+
+#include <vector>
+
+#include "trace/trace_io.hpp"
+
+namespace wdc {
+
+TraceRecorder::TraceRecorder() = default;
+TraceRecorder::~TraceRecorder() { finalize(); }
+
+void TraceRecorder::configure(const TraceConfig& cfg, const TraceMeta& meta) {
+  finalize();
+  enabled_ = cfg.enabled;
+  decomp_ = TraceDecomp{};
+  if (!enabled_) {
+    ring_.reset(0);
+    return;
+  }
+  ring_.reset(cfg.ring_capacity);
+  if (!cfg.file.empty()) {
+    auto sink = std::make_unique<TraceFileWriter>();
+    // An unopenable sink degrades to ring-only capture rather than aborting
+    // the run: tracing is diagnostics, never a correctness dependency.
+    if (sink->open(cfg.file, make_trace_header(meta))) sink_ = std::move(sink);
+  }
+}
+
+void TraceRecorder::emit(TraceEventKind kind, double t, ClientId client,
+                         ItemId item, double a, double b, std::uint8_t flags) {
+  if (!enabled_) return;
+  TraceEvent ev;
+  ev.t = t;
+  ev.a = static_cast<float>(a);
+  ev.b = static_cast<float>(b);
+  ev.item = item;
+  ev.client = trace_client(client);
+  ev.kind = static_cast<std::uint8_t>(kind);
+  ev.flags = flags;
+  push(ev);
+}
+
+void TraceRecorder::answer(double t, ClientId client, ItemId item,
+                           const LatencyBreakdown& bd, std::uint8_t flags) {
+  if (!enabled_) return;
+  if ((flags & kTraceFlagCounted) != 0) {
+    decomp_.ir_wait_s += bd.ir_wait_s;
+    decomp_.uplink_s += bd.uplink_s;
+    decomp_.bcast_wait_s += bd.bcast_wait_s;
+    decomp_.airtime_s += bd.airtime_s;
+    ++decomp_.answers;
+  }
+  TraceEvent ev;
+  ev.t = t;
+  ev.a = static_cast<float>(bd.ir_wait_s);
+  ev.b = static_cast<float>(bd.uplink_s);
+  ev.c = static_cast<float>(bd.bcast_wait_s);
+  ev.d = static_cast<float>(bd.airtime_s);
+  ev.item = item;
+  ev.client = trace_client(client);
+  ev.kind = static_cast<std::uint8_t>(TraceEventKind::kAnswer);
+  ev.flags = flags;
+  push(ev);
+}
+
+void TraceRecorder::push(const TraceEvent& ev) {
+  // Lossless capture with a sink: drain before the ring would overwrite.
+  if (sink_ != nullptr && ring_.full()) drain_to_sink();
+  ring_.push(ev);
+}
+
+void TraceRecorder::drain_to_sink() {
+  std::vector<TraceEvent> batch;
+  batch.reserve(ring_.size());
+  ring_.for_each([&batch](const TraceEvent& ev) { batch.push_back(ev); });
+  sink_->append(batch.data(), batch.size());
+  ring_.clear();
+}
+
+void TraceRecorder::finalize() {
+  if (sink_ != nullptr) {
+    drain_to_sink();
+    sink_->close();
+    sink_.reset();
+  }
+}
+
+}  // namespace wdc
+
+#endif  // WDC_TRACE_ENABLED

@@ -1,0 +1,143 @@
+#ifndef WDC_TRACE_TRACE_RECORDER_HPP
+#define WDC_TRACE_TRACE_RECORDER_HPP
+
+/// @file trace_recorder.hpp
+/// Per-simulation trace recorder, owned by the Simulator so every component
+/// that can schedule events can also emit trace events.
+///
+/// Two gates, mirroring the event-kernel perf counters (kernel_counters.hpp):
+///  * compile time — with WDC_TRACE_ENABLED=0 (CMake -DWDC_TRACE=OFF) the
+///    recorder is an empty no-op class, every emit folds away, and the binary
+///    pays nothing;
+///  * run time — an instrumented build still records nothing until a Scenario
+///    enables tracing (TraceConfig::enabled), so production sweeps pay one
+///    predictable branch per emit site.
+///
+/// Everything the recorder accumulates is instrumentation: it is surfaced in
+/// Metrics (the latency decomposition means) and wdc_bench json= output but
+/// deliberately EXCLUDED from metrics_digest(), so traced, untraced, and
+/// stripped builds all stay digest-identical.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "trace/trace_event.hpp"
+#include "trace/trace_ring.hpp"
+#include "util/types.hpp"
+
+#ifndef WDC_TRACE_ENABLED
+#define WDC_TRACE_ENABLED 1
+#endif
+
+namespace wdc {
+
+class TraceFileWriter;
+
+/// Runtime tracing knobs (part of Scenario; config keys trace / trace_ring /
+/// trace_file). Unconditional — present even in stripped builds so scenarios
+/// and sweeps parse identically; the recorder just ignores it there.
+struct TraceConfig {
+  bool enabled = false;             ///< master runtime switch
+  std::uint32_t ring_capacity = 1u << 16;  ///< events buffered in memory
+  /// Binary sink path. Non-empty: the ring drains here whenever it fills and
+  /// at finalize(), so the file holds EVERY event. Empty: the ring keeps the
+  /// newest `ring_capacity` events and counts what it overwrote.
+  std::string file;
+};
+
+/// Run identity stamped into the trace file header.
+struct TraceMeta {
+  std::string protocol;
+  std::uint64_t seed = 0;
+  double sim_time_s = 0.0;
+  double warmup_s = 0.0;
+  std::uint32_t num_clients = 0;
+};
+
+/// One answered query's latency, split over the lifecycle phases. The four
+/// parts sum exactly to the answer latency (the emit site clamps a monotone
+/// timestamp chain — see ClientProtocol).
+struct LatencyBreakdown {
+  double ir_wait_s = 0.0;    ///< submit → consistency-point decision
+  double uplink_s = 0.0;     ///< decision → request delivered at the server
+  double bcast_wait_s = 0.0; ///< delivery → item transmission begins
+  double airtime_s = 0.0;    ///< item transmission time
+};
+
+/// Running sums of LatencyBreakdown over counted (post-warm-up) answers.
+struct TraceDecomp {
+  double ir_wait_s = 0.0;
+  double uplink_s = 0.0;
+  double bcast_wait_s = 0.0;
+  double airtime_s = 0.0;
+  std::uint64_t answers = 0;
+};
+
+#if WDC_TRACE_ENABLED
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Arm (or disarm) the recorder for one run. Opens the file sink when
+  /// configured; a sink that cannot be opened degrades to ring-only capture.
+  void configure(const TraceConfig& cfg, const TraceMeta& meta);
+
+  /// Emit sites branch on this so a disabled run pays one predictable test.
+  bool enabled() const { return enabled_; }
+
+  /// Record one event. No-op when disabled.
+  void emit(TraceEventKind kind, double t, ClientId client, ItemId item,
+            double a = 0.0, double b = 0.0, std::uint8_t flags = 0);
+
+  /// Record a kAnswer event and fold its breakdown into the decomposition
+  /// sums (counted answers only, per kTraceFlagCounted).
+  void answer(double t, ClientId client, ItemId item,
+              const LatencyBreakdown& bd, std::uint8_t flags);
+
+  TraceDecomp decomposition() const { return decomp_; }
+  std::uint64_t events() const { return ring_.pushed(); }
+  std::uint64_t dropped() const { return ring_.overwritten(); }
+  const TraceRing& ring() const { return ring_; }
+
+  /// Drain the ring into the file sink (if any) and close it. Idempotent;
+  /// called by Simulation::run() after the clock stops.
+  void finalize();
+
+ private:
+  void push(const TraceEvent& ev);
+  void drain_to_sink();
+
+  bool enabled_ = false;
+  TraceRing ring_;
+  TraceDecomp decomp_;
+  std::unique_ptr<TraceFileWriter> sink_;
+};
+
+#else
+
+/// Stripped build: every call compiles to nothing; enabled() is a constant so
+/// guarded emit sites fold away entirely.
+class TraceRecorder {
+ public:
+  void configure(const TraceConfig&, const TraceMeta&) {}
+  bool enabled() const { return false; }
+  void emit(TraceEventKind, double, ClientId, ItemId, double = 0.0,
+            double = 0.0, std::uint8_t = 0) {}
+  void answer(double, ClientId, ItemId, const LatencyBreakdown&,
+              std::uint8_t) {}
+  TraceDecomp decomposition() const { return {}; }
+  std::uint64_t events() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+  void finalize() {}
+};
+
+#endif  // WDC_TRACE_ENABLED
+
+}  // namespace wdc
+
+#endif  // WDC_TRACE_TRACE_RECORDER_HPP

@@ -1,0 +1,86 @@
+#ifndef WDC_TRACE_TRACE_RING_HPP
+#define WDC_TRACE_TRACE_RING_HPP
+
+/// @file trace_ring.hpp
+/// Fixed-capacity ring of trace events, one per simulation.
+///
+/// The simulation kernel is single-threaded (parallelism is across
+/// replications, never inside one run — DESIGN.md §6), so each ring has
+/// exactly one producer and needs no locks or atomics: push() is a store and
+/// two index bumps, which is what keeps tracing cheap enough to leave enabled
+/// on hot paths. Capacity is rounded up to a power of two so the index wrap is
+/// a mask, not a modulo.
+///
+/// Overflow policy is the caller's: the recorder drains the ring into a file
+/// sink when one is configured; without a sink the ring keeps the NEWEST
+/// events and counts the overwritten ones.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+
+namespace wdc {
+
+class TraceRing {
+ public:
+  TraceRing() = default;
+  explicit TraceRing(std::uint32_t capacity) { reset(capacity); }
+
+  /// (Re)allocate for at least `capacity` events (rounded up to a power of
+  /// two) and forget any recorded history. Capacity 0 releases the buffer.
+  void reset(std::uint32_t capacity) {
+    std::size_t cap = 0;
+    if (capacity > 0) {
+      cap = 1;
+      while (cap < capacity) cap <<= 1;
+    }
+    buf_.assign(cap, TraceEvent{});
+    mask_ = cap == 0 ? 0 : cap - 1;
+    head_ = 0;
+    size_ = 0;
+    overwritten_ = 0;
+  }
+
+  /// Record one event. When full, the oldest event is overwritten (the caller
+  /// drains the ring first if it wants lossless capture).
+  void push(const TraceEvent& ev) {
+    if (buf_.empty()) return;
+    buf_[static_cast<std::size_t>(head_) & mask_] = ev;
+    ++head_;
+    if (size_ < buf_.size())
+      ++size_;
+    else
+      ++overwritten_;
+  }
+
+  bool full() const { return size_ == buf_.size() && !buf_.empty(); }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  /// Total push() calls since reset() (monotone across clear()).
+  std::uint64_t pushed() const { return head_; }
+  /// Events lost to overwriting (0 whenever a sink drains in time).
+  std::uint64_t overwritten() const { return overwritten_; }
+
+  /// Forget buffered events (after a drain); pushed()/overwritten() persist.
+  void clear() { size_ = 0; }
+
+  /// Visit buffered events oldest → newest.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::uint64_t i = head_ - size_; i < head_; ++i)
+      fn(buf_[static_cast<std::size_t>(i) & mask_]);
+  }
+
+ private:
+  std::vector<TraceEvent> buf_;
+  std::size_t mask_ = 0;
+  std::uint64_t head_ = 0;   ///< next write position (total pushes)
+  std::size_t size_ = 0;     ///< buffered (≤ capacity)
+  std::uint64_t overwritten_ = 0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_TRACE_TRACE_RING_HPP

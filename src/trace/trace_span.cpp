@@ -1,0 +1,90 @@
+#include "trace/trace_span.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace wdc {
+
+namespace {
+
+std::uint64_t span_key(std::uint16_t client, std::uint32_t item) {
+  return (static_cast<std::uint64_t>(client) << 32) | item;
+}
+
+}  // namespace
+
+std::vector<QuerySpan> derive_spans(const std::vector<TraceEvent>& events) {
+  std::vector<QuerySpan> spans;
+  std::unordered_map<std::uint64_t, std::deque<double>> open;
+  for (const TraceEvent& ev : events) {
+    const auto kind = static_cast<TraceEventKind>(ev.kind);
+    if (kind == TraceEventKind::kQuerySubmit) {
+      open[span_key(ev.client, ev.item)].push_back(ev.t);
+      continue;
+    }
+    if (kind != TraceEventKind::kAnswer && kind != TraceEventKind::kQueryDrop)
+      continue;
+    QuerySpan span;
+    span.client = ev.client == kTraceNoClient ? kInvalidClient
+                                              : static_cast<ClientId>(ev.client);
+    span.item = ev.item;
+    span.end_t = ev.t;
+    auto it = open.find(span_key(ev.client, ev.item));
+    if (it != open.end() && !it->second.empty()) {
+      span.submit_t = it->second.front();
+      it->second.pop_front();
+    } else {
+      // Submit fell off the ring: reconstruct from the recorded breakdown.
+      span.submit_t = ev.t - (static_cast<double>(ev.a) +
+                              static_cast<double>(ev.b) +
+                              static_cast<double>(ev.c) +
+                              static_cast<double>(ev.d));
+    }
+    if (kind == TraceEventKind::kQueryDrop) {
+      span.dropped = true;
+    } else {
+      span.parts.ir_wait_s = static_cast<double>(ev.a);
+      span.parts.uplink_s = static_cast<double>(ev.b);
+      span.parts.bcast_wait_s = static_cast<double>(ev.c);
+      span.parts.airtime_s = static_cast<double>(ev.d);
+      span.hit = (ev.flags & kTraceFlagHit) != 0;
+      span.stale = (ev.flags & kTraceFlagStale) != 0;
+      span.counted = (ev.flags & kTraceFlagCounted) != 0;
+    }
+    spans.push_back(span);
+  }
+  return spans;
+}
+
+SpanSummary summarize_spans(const std::vector<QuerySpan>& spans,
+                            bool counted_only) {
+  SpanSummary out;
+  for (const QuerySpan& s : spans) {
+    if (s.dropped) {
+      ++out.drops;
+      continue;
+    }
+    if (counted_only && !s.counted) continue;
+    ++out.spans;
+    if (s.hit) ++out.hits;
+    if (s.stale) ++out.stale;
+    out.mean_latency_s += s.latency_s();
+    out.max_latency_s = std::max(out.max_latency_s, s.latency_s());
+    out.mean_parts.ir_wait_s += s.parts.ir_wait_s;
+    out.mean_parts.uplink_s += s.parts.uplink_s;
+    out.mean_parts.bcast_wait_s += s.parts.bcast_wait_s;
+    out.mean_parts.airtime_s += s.parts.airtime_s;
+  }
+  if (out.spans > 0) {
+    const double n = static_cast<double>(out.spans);
+    out.mean_latency_s /= n;
+    out.mean_parts.ir_wait_s /= n;
+    out.mean_parts.uplink_s /= n;
+    out.mean_parts.bcast_wait_s /= n;
+    out.mean_parts.airtime_s /= n;
+  }
+  return out;
+}
+
+}  // namespace wdc

@@ -1,0 +1,58 @@
+#ifndef WDC_TRACE_TRACE_SPAN_HPP
+#define WDC_TRACE_TRACE_SPAN_HPP
+
+/// @file trace_span.hpp
+/// Per-query lifecycle spans derived from a raw event stream: submit → answer
+/// (or drop) pairing per (client, item), carrying the latency decomposition
+/// the answer event recorded. The foundation of wdc_trace's summaries and
+/// top-K slowest-queries report.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+#include "trace/trace_recorder.hpp"
+#include "util/types.hpp"
+
+namespace wdc {
+
+struct QuerySpan {
+  ClientId client = kInvalidClient;
+  ItemId item = kInvalidItem;
+  double submit_t = 0.0;
+  double end_t = 0.0;  ///< answer (or drop) time
+  LatencyBreakdown parts;
+  bool hit = false;
+  bool stale = false;
+  bool counted = false;   ///< past warm-up
+  bool dropped = false;   ///< abandoned (sleep), never answered
+
+  double latency_s() const { return end_t - submit_t; }
+};
+
+/// Pair kQuerySubmit with kAnswer/kQueryDrop events, FIFO per (client, item) —
+/// the protocol answers same-item queries in submission order. An answer whose
+/// submit predates the capture window (ring overwrote it) reconstructs its
+/// submit time from the recorded decomposition. Unmatched submits (queries
+/// still pending when the trace ended) yield no span.
+std::vector<QuerySpan> derive_spans(const std::vector<TraceEvent>& events);
+
+/// Aggregate of a span set (the per-protocol summary wdc_trace prints).
+struct SpanSummary {
+  std::uint64_t spans = 0;  ///< answered
+  std::uint64_t hits = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t drops = 0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  LatencyBreakdown mean_parts;  ///< per answered query
+};
+
+/// Summarise spans; with `counted_only`, warm-up answers are skipped (drops
+/// are tallied regardless — they carry no counted flag).
+SpanSummary summarize_spans(const std::vector<QuerySpan>& spans,
+                            bool counted_only);
+
+}  // namespace wdc
+
+#endif  // WDC_TRACE_TRACE_SPAN_HPP

@@ -6,8 +6,11 @@
 namespace wdc {
 
 SleepModel::SleepModel(Simulator& sim, const SleepConfig& cfg, Rng rng,
-                       TransitionFn on_transition)
-    : sim_(sim), rng_(rng), on_transition_(std::move(on_transition)) {
+                       TransitionFn on_transition, ClientId trace_id)
+    : sim_(sim),
+      rng_(rng),
+      on_transition_(std::move(on_transition)),
+      trace_id_(trace_id) {
   if (!(cfg.sleep_ratio >= 0.0 && cfg.sleep_ratio < 1.0))
     throw std::invalid_argument("SleepConfig: sleep_ratio in [0,1)");
   enabled_ = cfg.sleep_ratio > 0.0;
@@ -31,6 +34,11 @@ void SleepModel::schedule_transition() {
                      } else {
                        ++episodes_;
                      }
+                     auto& tr = sim_.trace();
+                     if (tr.enabled())
+                       tr.emit(awake_ ? TraceEventKind::kWake
+                                      : TraceEventKind::kSleep,
+                               sim_.now(), trace_id_, kInvalidItem);
                      if (on_transition_) on_transition_(awake_);
                      schedule_transition();
                    },

@@ -9,9 +9,8 @@
 /// Transitions are *events* so protocols can react (on reconnect a client must
 /// re-validate its cache at the next report).
 
-#include <functional>
-
 #include "sim/simulator.hpp"
+#include "util/inline_action.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 #include "util/variates.hpp"
@@ -25,11 +24,17 @@ struct SleepConfig {
 
 class SleepModel {
  public:
-  using TransitionFn = std::function<void(bool awake)>;
+  /// Small-buffer callback (same InlineFunction as the event kernel): the
+  /// engine's capture is {this, index}, far under the inline capacity, so
+  /// transitions never touch the heap.
+  using TransitionFn = InlineFunction<void(bool awake)>;
 
   /// Client starts awake. `on_transition` fires at every awake<->sleep edge.
+  /// `trace_id` labels this model's sleep/wake trace events (the owning
+  /// client's id; kInvalidClient when unattributed).
   SleepModel(Simulator& sim, const SleepConfig& cfg, Rng rng,
-             TransitionFn on_transition = nullptr);
+             TransitionFn on_transition = {},
+             ClientId trace_id = kInvalidClient);
 
   SleepModel(const SleepModel&) = delete;
   SleepModel& operator=(const SleepModel&) = delete;
@@ -51,6 +56,7 @@ class SleepModel {
   SimTime last_wakeup_ = 0.0;
   std::uint64_t episodes_ = 0;
   TransitionFn on_transition_;
+  ClientId trace_id_;
 };
 
 }  // namespace wdc

@@ -1,0 +1,122 @@
+/// End-to-end tests of the tracing subsystem at the Simulation level: the
+/// latency-decomposition identity across every protocol, digest invariance
+/// (traced vs untraced vs field mutation), and .wdct export round-trips.
+/// Digest tests run in every build; assertions on the recorded decomposition
+/// itself need the instrumented build (WDC_TRACE_ENABLED).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "engine/digest.hpp"
+#include "engine/simulation.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_span.hpp"
+
+namespace wdc {
+namespace {
+
+Scenario traced(ProtocolKind kind, std::uint64_t seed = 11) {
+  Scenario s;
+  s.protocol = kind;
+  s.seed = seed;
+  s.num_clients = 10;
+  s.db.num_items = 200;
+  s.sim_time_s = 400.0;
+  s.warmup_s = 100.0;
+  s.trace.enabled = true;
+  return s;
+}
+
+#if WDC_TRACE_ENABLED
+
+TEST(TraceDecomposition, ComponentsSumToMeanLatencyForEveryProtocol) {
+  // The emit site clamps a monotone timestamp chain, so the four components
+  // telescope to the answer latency exactly; the per-answer means must then
+  // reproduce mean_latency_s up to accumulation rounding. This is the identity
+  // that makes the decomposition trustworthy, checked over all 11 protocols.
+  for (ProtocolKind kind : kAllProtocolsAndBaselines) {
+    const Metrics m = run_scenario(traced(kind));
+    ASSERT_GT(m.answered, 0u) << to_string(kind);
+    EXPECT_GT(m.trace_events, 0u) << to_string(kind);
+    const double sum = m.ir_wait_s + m.uplink_s + m.bcast_wait_s + m.airtime_s;
+    EXPECT_NEAR(sum, m.mean_latency_s, 1e-6 + 1e-9 * m.mean_latency_s)
+        << to_string(kind);
+    EXPECT_GE(m.ir_wait_s, 0.0) << to_string(kind);
+    EXPECT_GE(m.uplink_s, 0.0) << to_string(kind);
+    EXPECT_GE(m.bcast_wait_s, 0.0) << to_string(kind);
+    EXPECT_GE(m.airtime_s, 0.0) << to_string(kind);
+  }
+}
+
+TEST(TraceDecomposition, UntracedRunRecordsNothing) {
+  Scenario s = traced(ProtocolKind::kTs);
+  s.trace.enabled = false;
+  const Metrics m = run_scenario(s);
+  EXPECT_EQ(m.trace_events, 0u);
+  EXPECT_EQ(m.trace_dropped, 0u);
+  EXPECT_DOUBLE_EQ(m.ir_wait_s + m.uplink_s + m.bcast_wait_s + m.airtime_s,
+                   0.0);
+}
+
+TEST(TraceDecomposition, FileExportRoundTripsThroughSpans) {
+  const std::string path = testing::TempDir() + "decomp_e2e.wdct";
+  Scenario s = traced(ProtocolKind::kUir, 23);
+  s.trace.file = path;
+  const Metrics m = run_scenario(s);
+  ASSERT_GT(m.answered, 0u);
+
+  TraceFile tf;
+  std::string error;
+  ASSERT_TRUE(read_trace_file(path, &tf, &error)) << error;
+  EXPECT_EQ(tf.protocol(), to_string(ProtocolKind::kUir));
+  EXPECT_EQ(tf.header.seed, 23u);
+  EXPECT_EQ(tf.header.num_clients, 10u);
+  // A file sink drains the ring before any overwrite, so the file holds every
+  // emitted event and the counted spans reproduce the Metrics answer count.
+  EXPECT_EQ(m.trace_dropped, 0u);
+  EXPECT_EQ(tf.events.size(), m.trace_events);
+
+  const auto spans = derive_spans(tf.events);
+  const auto counted = summarize_spans(spans, /*counted_only=*/true);
+  EXPECT_EQ(counted.spans, m.answered);
+  EXPECT_NEAR(counted.mean_latency_s, m.mean_latency_s,
+              1e-4 + 1e-3 * m.mean_latency_s);  // parts travel as float32
+  std::remove(path.c_str());
+}
+
+#endif  // WDC_TRACE_ENABLED
+
+TEST(TraceDigest, TracingDoesNotPerturbTheDigest) {
+  // Tracing must be a pure observer: the same seed run traced and untraced
+  // (and in a -DWDC_TRACE=OFF build, where the traced run records nothing)
+  // produces bit-identical simulation results.
+  for (ProtocolKind kind :
+       {ProtocolKind::kTs, ProtocolKind::kHyb, ProtocolKind::kCbl}) {
+    Scenario on = traced(kind, 31);
+    Scenario off = on;
+    off.trace.enabled = false;
+    const Metrics a = run_scenario(on);
+    const Metrics b = run_scenario(off);
+    EXPECT_EQ(metrics_digest(a), metrics_digest(b)) << to_string(kind);
+    EXPECT_EQ(a.events, b.events) << to_string(kind);
+    EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s) << to_string(kind);
+  }
+}
+
+TEST(TraceDigest, DigestIgnoresTraceDerivedFields) {
+  Metrics m = run_scenario(traced(ProtocolKind::kTs));
+  const std::uint64_t base = metrics_digest(m);
+  m.ir_wait_s += 1.0;
+  m.uplink_s += 2.0;
+  m.bcast_wait_s += 3.0;
+  m.airtime_s += 4.0;
+  m.trace_events += 5;
+  m.trace_dropped += 6;
+  EXPECT_EQ(metrics_digest(m), base);
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,323 @@
+/// Unit tests of the trace subsystem: ring semantics, binary/JSONL io,
+/// span derivation, and recorder gating. The recorder/ring sections need the
+/// instrumented build (WDC_TRACE_ENABLED); the io/span sections always build —
+/// the reader side of src/trace is unconditional.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/trace_recorder.hpp"
+#include "trace/trace_ring.hpp"
+#include "trace/trace_span.hpp"
+
+namespace wdc {
+namespace {
+
+TraceEvent make_event(TraceEventKind kind, double t, std::uint16_t client,
+                      std::uint32_t item, float a = 0.0f, float b = 0.0f,
+                      float c = 0.0f, float d = 0.0f, std::uint8_t flags = 0) {
+  TraceEvent ev;
+  ev.t = t;
+  ev.a = a;
+  ev.b = b;
+  ev.c = c;
+  ev.d = d;
+  ev.item = item;
+  ev.client = client;
+  ev.kind = static_cast<std::uint8_t>(kind);
+  ev.flags = flags;
+  return ev;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+// ------------------------------------------------------------------- ring --
+
+TEST(TraceRing, CapacityRoundsUpToPowerOfTwo) {
+  TraceRing ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  TraceRing exact(16);
+  EXPECT_EQ(exact.capacity(), 16u);
+  TraceRing empty(0);
+  EXPECT_EQ(empty.capacity(), 0u);
+}
+
+TEST(TraceRing, ZeroCapacityDropsEverything) {
+  TraceRing ring(0);
+  ring.push(make_event(TraceEventKind::kQuerySubmit, 1.0, 0, 0));
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 0u);
+}
+
+TEST(TraceRing, KeepsNewestAndCountsOverwrites) {
+  TraceRing ring(4);
+  for (int i = 0; i < 10; ++i)
+    ring.push(make_event(TraceEventKind::kQuerySubmit, i, 0, 0));
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.pushed(), 10u);
+  EXPECT_EQ(ring.overwritten(), 6u);
+  std::vector<double> times;
+  ring.for_each([&](const TraceEvent& ev) { times.push_back(ev.t); });
+  EXPECT_EQ(times, (std::vector<double>{6.0, 7.0, 8.0, 9.0}));
+}
+
+TEST(TraceRing, ClearKeepsMonotoneCounters) {
+  TraceRing ring(4);
+  for (int i = 0; i < 3; ++i)
+    ring.push(make_event(TraceEventKind::kQuerySubmit, i, 0, 0));
+  ring.clear();
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.pushed(), 3u);
+  ring.push(make_event(TraceEventKind::kAnswer, 5.0, 0, 0));
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.pushed(), 4u);
+  double only = -1.0;
+  ring.for_each([&](const TraceEvent& ev) { only = ev.t; });
+  EXPECT_EQ(only, 5.0);
+}
+
+// --------------------------------------------------------------------- io --
+
+TEST(TraceIo, RoundTripsHeaderAndEvents) {
+  const std::string path = temp_path("trace_roundtrip.wdct");
+  TraceMeta meta;
+  meta.protocol = "TS";
+  meta.seed = 42;
+  meta.sim_time_s = 100.0;
+  meta.warmup_s = 10.0;
+  meta.num_clients = 7;
+
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 1.5, 3, 17));
+  events.push_back(make_event(TraceEventKind::kAnswer, 2.5, 3, 17, 1.0f, 0.0f,
+                              0.0f, 0.0f, kTraceFlagHit | kTraceFlagCounted));
+
+  TraceFileWriter writer;
+  ASSERT_TRUE(writer.open(path, make_trace_header(meta)));
+  writer.append(events.data(), events.size());
+  writer.close();
+
+  TraceFile tf;
+  std::string error;
+  ASSERT_TRUE(read_trace_file(path, &tf, &error)) << error;
+  EXPECT_EQ(tf.protocol(), "TS");
+  EXPECT_EQ(tf.header.seed, 42u);
+  EXPECT_EQ(tf.header.num_clients, 7u);
+  EXPECT_EQ(tf.header.event_bytes, sizeof(TraceEvent));
+  ASSERT_EQ(tf.events.size(), 2u);
+  EXPECT_EQ(tf.events[0].t, 1.5);
+  EXPECT_EQ(static_cast<TraceEventKind>(tf.events[1].kind),
+            TraceEventKind::kAnswer);
+  EXPECT_EQ(tf.events[1].flags, kTraceFlagHit | kTraceFlagCounted);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  const std::string path = temp_path("trace_badmagic.wdct");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "NOTATRACEFILE  padding to get past the header size boundary ....";
+  }
+  TraceFile tf;
+  std::string error;
+  EXPECT_FALSE(read_trace_file(path, &tf, &error));
+  EXPECT_FALSE(error.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsMissingFile) {
+  TraceFile tf;
+  std::string error;
+  EXPECT_FALSE(read_trace_file(temp_path("does_not_exist.wdct"), &tf, &error));
+}
+
+TEST(TraceIo, JsonlEmitsOneObjectPerEvent) {
+  TraceFile tf;
+  tf.events.push_back(make_event(TraceEventKind::kQuerySubmit, 1.0, 2, 3));
+  tf.events.push_back(make_event(TraceEventKind::kSleep, 2.0, kTraceNoClient,
+                                 kInvalidItem));
+  std::ostringstream os;
+  write_trace_jsonl(tf, os);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("QUERY_SUBMIT"), std::string::npos);
+  EXPECT_NE(out.find("SLEEP"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ spans --
+
+TEST(TraceSpan, PairsSubmitWithAnswerFifoPerClientItem) {
+  std::vector<TraceEvent> events;
+  // Two same-(client,item) queries answered in submission order, interleaved
+  // with another client's traffic.
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 1.0, 0, 5));
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 2.0, 1, 5));
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 3.0, 0, 5));
+  events.push_back(make_event(TraceEventKind::kAnswer, 4.0, 0, 5, 3.0f, 0.0f,
+                              0.0f, 0.0f, kTraceFlagHit | kTraceFlagCounted));
+  events.push_back(make_event(TraceEventKind::kAnswer, 5.0, 1, 5, 3.0f, 0.0f,
+                              0.0f, 0.0f, kTraceFlagCounted));
+  events.push_back(make_event(TraceEventKind::kAnswer, 6.0, 0, 5, 3.0f, 0.0f,
+                              0.0f, 0.0f, kTraceFlagCounted));
+  const auto spans = derive_spans(events);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].client, 0u);
+  EXPECT_EQ(spans[0].submit_t, 1.0);
+  EXPECT_EQ(spans[0].end_t, 4.0);
+  EXPECT_TRUE(spans[0].hit);
+  EXPECT_EQ(spans[1].client, 1u);
+  EXPECT_EQ(spans[1].submit_t, 2.0);
+  EXPECT_EQ(spans[2].submit_t, 3.0);
+  EXPECT_EQ(spans[2].end_t, 6.0);
+}
+
+TEST(TraceSpan, ReconstructsSubmitLostToRingOverwrite) {
+  // An answer with no matching submit (the ring overwrote it) reconstructs the
+  // submit time from its recorded decomposition.
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(TraceEventKind::kAnswer, 10.0, 0, 1, 2.0f, 1.0f,
+                              0.5f, 0.5f, kTraceFlagCounted));
+  const auto spans = derive_spans(events);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_NEAR(spans[0].submit_t, 6.0, 1e-9);
+  EXPECT_NEAR(spans[0].latency_s(), 4.0, 1e-9);
+}
+
+TEST(TraceSpan, DropsAreSpansWithoutParts) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 1.0, 0, 9));
+  events.push_back(make_event(TraceEventKind::kQueryDrop, 3.0, 0, 9));
+  const auto spans = derive_spans(events);
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_TRUE(spans[0].dropped);
+  EXPECT_EQ(spans[0].submit_t, 1.0);
+  EXPECT_EQ(spans[0].end_t, 3.0);
+}
+
+TEST(TraceSpan, UnmatchedSubmitYieldsNoSpan) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 1.0, 0, 9));
+  EXPECT_TRUE(derive_spans(events).empty());
+}
+
+TEST(TraceSpan, SummaryRespectsCountedOnly) {
+  std::vector<TraceEvent> events;
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 1.0, 0, 1));
+  events.push_back(make_event(TraceEventKind::kAnswer, 2.0, 0, 1, 1.0f, 0.0f,
+                              0.0f, 0.0f, 0));  // warm-up answer: not counted
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 10.0, 0, 2));
+  events.push_back(make_event(TraceEventKind::kAnswer, 14.0, 0, 2, 1.0f, 1.0f,
+                              1.0f, 1.0f, kTraceFlagCounted));
+  events.push_back(make_event(TraceEventKind::kQuerySubmit, 20.0, 0, 3));
+  events.push_back(make_event(TraceEventKind::kQueryDrop, 21.0, 0, 3));
+  const auto spans = derive_spans(events);
+  const auto counted = summarize_spans(spans, /*counted_only=*/true);
+  EXPECT_EQ(counted.spans, 1u);
+  EXPECT_EQ(counted.drops, 1u);
+  EXPECT_NEAR(counted.mean_latency_s, 4.0, 1e-9);
+  EXPECT_NEAR(counted.mean_parts.uplink_s, 1.0, 1e-9);
+  const auto all = summarize_spans(spans, /*counted_only=*/false);
+  EXPECT_EQ(all.spans, 2u);
+  EXPECT_NEAR(all.mean_latency_s, 2.5, 1e-9);
+}
+
+// --------------------------------------------------------------- recorder --
+
+#if WDC_TRACE_ENABLED
+
+TEST(TraceRecorder, DisabledByDefaultAndEmitsNothing) {
+  TraceRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  rec.emit(TraceEventKind::kQuerySubmit, 1.0, 0, 0);
+  rec.answer(2.0, 0, 0, LatencyBreakdown{1.0, 0.0, 0.0, 0.0},
+             kTraceFlagCounted);
+  EXPECT_EQ(rec.events(), 0u);
+  EXPECT_EQ(rec.decomposition().answers, 0u);
+}
+
+TEST(TraceRecorder, RecordsAndAccumulatesCountedAnswers) {
+  TraceRecorder rec;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 64;
+  rec.configure(cfg, TraceMeta{});
+  ASSERT_TRUE(rec.enabled());
+  rec.emit(TraceEventKind::kQuerySubmit, 1.0, 3, 7);
+  rec.answer(2.0, 3, 7, LatencyBreakdown{0.5, 0.25, 0.125, 0.125},
+             kTraceFlagCounted);
+  rec.answer(3.0, 3, 7, LatencyBreakdown{9.0, 9.0, 9.0, 9.0},
+             /*flags=*/0);  // warm-up: recorded but not accumulated
+  EXPECT_EQ(rec.events(), 3u);
+  const TraceDecomp d = rec.decomposition();
+  EXPECT_EQ(d.answers, 1u);
+  EXPECT_NEAR(d.ir_wait_s, 0.5, 1e-12);
+  EXPECT_NEAR(d.uplink_s, 0.25, 1e-12);
+  EXPECT_NEAR(d.bcast_wait_s, 0.125, 1e-12);
+  EXPECT_NEAR(d.airtime_s, 0.125, 1e-12);
+  std::size_t answers_in_ring = 0;
+  rec.ring().for_each([&](const TraceEvent& ev) {
+    if (static_cast<TraceEventKind>(ev.kind) == TraceEventKind::kAnswer)
+      ++answers_in_ring;
+  });
+  EXPECT_EQ(answers_in_ring, 2u);
+}
+
+TEST(TraceRecorder, FileSinkCapturesEveryEventPastRingCapacity) {
+  const std::string path = temp_path("trace_recorder_sink.wdct");
+  TraceRecorder rec;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 8;
+  cfg.file = path;
+  TraceMeta meta;
+  meta.protocol = "UIR";
+  meta.seed = 9;
+  rec.configure(cfg, meta);
+  const int n = 100;  // far past the ring capacity
+  for (int i = 0; i < n; ++i)
+    rec.emit(TraceEventKind::kQuerySubmit, i, 0, static_cast<ItemId>(i));
+  rec.finalize();
+  EXPECT_EQ(rec.dropped(), 0u);  // the sink drained before any overwrite
+
+  TraceFile tf;
+  std::string error;
+  ASSERT_TRUE(read_trace_file(path, &tf, &error)) << error;
+  EXPECT_EQ(tf.protocol(), "UIR");
+  ASSERT_EQ(tf.events.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    EXPECT_EQ(tf.events[static_cast<std::size_t>(i)].item,
+              static_cast<std::uint32_t>(i));
+  std::remove(path.c_str());
+}
+
+TEST(TraceRecorder, ReconfigureResetsState) {
+  TraceRecorder rec;
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 8;
+  rec.configure(cfg, TraceMeta{});
+  rec.answer(1.0, 0, 0, LatencyBreakdown{1.0, 0.0, 0.0, 0.0},
+             kTraceFlagCounted);
+  rec.configure(cfg, TraceMeta{});
+  EXPECT_EQ(rec.events(), 0u);
+  EXPECT_EQ(rec.decomposition().answers, 0u);
+  TraceConfig off;
+  rec.configure(off, TraceMeta{});
+  EXPECT_FALSE(rec.enabled());
+}
+
+#endif  // WDC_TRACE_ENABLED
+
+}  // namespace
+}  // namespace wdc

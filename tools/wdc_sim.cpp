@@ -51,6 +51,10 @@ const std::map<std::string, std::function<double(const Metrics&)>>& metric_regis
       {"report_overhead_frac",
        [](const Metrics& m) { return m.report_overhead_frac; }},
       {"data_queue_delay_s", [](const Metrics& m) { return m.data_queue_delay_s; }},
+      {"ir_wait_s", [](const Metrics& m) { return m.ir_wait_s; }},
+      {"uplink_s", [](const Metrics& m) { return m.uplink_s; }},
+      {"bcast_wait_s", [](const Metrics& m) { return m.bcast_wait_s; }},
+      {"airtime_s", [](const Metrics& m) { return m.airtime_s; }},
   };
   return kMap;
 }
