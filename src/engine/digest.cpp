@@ -70,6 +70,10 @@ std::uint64_t metrics_digest(const Metrics& m) {
   // The trace-derived fields (ir_wait_s, uplink_s, bcast_wait_s, airtime_s,
   // trace_events, trace_dropped) are excluded for the same reason: digests must
   // be bit-identical between -DWDC_TRACE=ON and OFF builds, traced or not.
+  // The fault-layer fields (fault_ir_drops, fault_bcast_drops,
+  // fault_uplink_drops, churn_events, churn_rejoins, recoveries,
+  // mean_recovery_s, stale_exposure) are likewise excluded: a disabled
+  // injector must digest identically to a -DWDC_FAULTS=OFF build.
   return d.value();
 }
 

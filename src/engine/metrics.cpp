@@ -56,6 +56,13 @@ void Metrics::print(std::ostream& os) const {
   if (trace_events > 0)
     os << strfmt("trace              %llu events (%llu overwritten)\n",
                  ull(trace_events), ull(trace_dropped));
+  if (fault_ir_drops + fault_bcast_drops + fault_uplink_drops + churn_events > 0)
+    os << strfmt(
+        "faults             %llu IR / %llu bcast / %llu uplink drops; "
+        "%llu churns, %llu recoveries (mean %.3fs, %llu entries exposed)\n",
+        ull(fault_ir_drops), ull(fault_bcast_drops), ull(fault_uplink_drops),
+        ull(churn_events), ull(recoveries), mean_recovery_s,
+        ull(stale_exposure));
   if (kernel.scheduled > 0)
     os << strfmt(
         "event kernel       %llu scheduled / %llu fired / %llu cancelled; "

@@ -87,6 +87,20 @@ struct Metrics {
   std::uint64_t trace_events = 0;   ///< events emitted into the trace ring
   std::uint64_t trace_dropped = 0;  ///< ring overwrites (no file sink attached)
 
+  // --- fault injection / recovery (src/faults) ---
+  /// All zero when the fault layer is disabled (faults=false) or compiled out
+  /// (-DWDC_FAULTS=OFF), and — like `kernel` and the decomposition means —
+  /// excluded from metrics_digest() so faulted-capable and stripped builds
+  /// digest identically.
+  std::uint64_t fault_ir_drops = 0;     ///< report receptions erased
+  std::uint64_t fault_bcast_drops = 0;  ///< item/data/control receptions erased
+  std::uint64_t fault_uplink_drops = 0; ///< uplink requests lost
+  std::uint64_t churn_events = 0;       ///< client disconnects
+  std::uint64_t churn_rejoins = 0;      ///< client reconnects
+  std::uint64_t recoveries = 0;         ///< consistency points after rejoins
+  double mean_recovery_s = 0.0;         ///< mean rejoin → consistency time
+  std::uint64_t stale_exposure = 0;     ///< suspect entries shed in recoveries
+
   // --- event-kernel perf counters ---
   /// Instrumentation only: all zero under -DWDC_PERF_COUNTERS=OFF, and
   /// deliberately excluded from metrics_digest() so instrumented and stripped

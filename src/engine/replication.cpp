@@ -137,6 +137,21 @@ Metrics mean_of(const std::vector<Metrics>& reps) {
       avg([](const Metrics& m) { return m.trace_events; }));
   out.trace_dropped = static_cast<std::uint64_t>(
       avg([](const Metrics& m) { return m.trace_dropped; }));
+  out.fault_ir_drops = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.fault_ir_drops; }));
+  out.fault_bcast_drops = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.fault_bcast_drops; }));
+  out.fault_uplink_drops = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.fault_uplink_drops; }));
+  out.churn_events = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.churn_events; }));
+  out.churn_rejoins = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.churn_rejoins; }));
+  out.recoveries = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.recoveries; }));
+  out.mean_recovery_s = avg([](const Metrics& m) { return m.mean_recovery_s; });
+  out.stale_exposure = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.stale_exposure; }));
   const auto avg_count = [&](auto field) {
     return static_cast<std::uint64_t>(
         avg([field](const Metrics& m) { return static_cast<double>(m.kernel.*field); }));

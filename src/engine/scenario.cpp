@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "faults/fault_injector.hpp"
+
 namespace wdc {
 
 SnrAssignment snr_assignment_from_string(const std::string& name) {
@@ -127,6 +129,24 @@ Scenario Scenario::from_config(const Config& c, const Scenario& base) {
       c.get_int("trace_ring", s.trace.ring_capacity));
   s.trace.file = c.get_string("trace_file", s.trace.file);
 
+  s.faults.enabled = c.get_bool("faults", s.faults.enabled);
+  s.faults.loss_mode = fault_loss_mode_from_string(
+      c.get_string("fault_loss_mode", to_string(s.faults.loss_mode)));
+  s.faults.ir_loss = c.get_double("fault_ir_loss", s.faults.ir_loss);
+  s.faults.bcast_loss = c.get_double("fault_bcast_loss", s.faults.bcast_loss);
+  s.faults.burst_mean_good_s =
+      c.get_double("fault_burst_good", s.faults.burst_mean_good_s);
+  s.faults.burst_mean_bad_s =
+      c.get_double("fault_burst_bad", s.faults.burst_mean_bad_s);
+  s.faults.uplink_drop = c.get_double("fault_uplink_drop", s.faults.uplink_drop);
+  s.faults.backoff_mult = c.get_double("fault_backoff_mult", s.faults.backoff_mult);
+  s.faults.backoff_cap_s = c.get_double("fault_backoff_cap", s.faults.backoff_cap_s);
+  s.faults.churn_rate = c.get_double("fault_churn_rate", s.faults.churn_rate);
+  s.faults.churn_mean_down_s =
+      c.get_double("fault_churn_down", s.faults.churn_mean_down_s);
+  s.faults.rejoin = rejoin_policy_from_string(
+      c.get_string("fault_rejoin", to_string(s.faults.rejoin)));
+
   s.snr_assignment = snr_assignment_from_string(
       c.get_string("snr_assignment", to_string(s.snr_assignment)));
   s.mean_snr_db = c.get_double("mean_snr", s.mean_snr_db);
@@ -160,6 +180,11 @@ void Scenario::validate() const {
   if (edge_timeslots == 0) throw std::invalid_argument("Scenario: timeslots >= 1");
   if (trace.enabled && trace.ring_capacity == 0)
     throw std::invalid_argument("Scenario: trace_ring > 0 when tracing");
+  faults.validate();
+  if (faults.enabled && WDC_FAULTS_ENABLED == 0)
+    throw std::invalid_argument(
+        "Scenario: faults requested but the fault layer was compiled out "
+        "(-DWDC_FAULTS=OFF)");
 }
 
 }  // namespace wdc

@@ -11,6 +11,7 @@
 
 #include "channel/pathloss.hpp"
 #include "channel/snr_process.hpp"
+#include "faults/fault_config.hpp"
 #include "mac/broadcast_mac.hpp"
 #include "mac/uplink.hpp"
 #include "phy/mcs.hpp"
@@ -60,6 +61,8 @@ struct Scenario {
   UplinkConfig uplink;
   /// Query-lifecycle tracing (off by default; zero-cost when WDC_TRACE=OFF).
   TraceConfig trace;
+  /// Fault injection (off by default; zero-cost when WDC_FAULTS=OFF).
+  FaultConfig faults;
 
   // --- radio geometry / link budget ---
   SnrAssignment snr_assignment = SnrAssignment::kUniform;

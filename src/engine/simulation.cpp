@@ -19,6 +19,13 @@ Simulation::Simulation(Scenario scenario)
 
   mac_ = std::make_unique<BroadcastMac>(sim_, table_, scenario_.mac, mac_rng);
   uplink_ = std::make_unique<UplinkChannel>(sim_, scenario_.uplink, master.split());
+  // The fault layer splits off the master LAST, after every model stream, and
+  // a disabled injector draws nothing — so seeds chain identically with faults
+  // compiled in, disabled, or compiled out (the digest tests prove it).
+  faults_ = std::make_unique<FaultInjector>(sim_, scenario_.faults,
+                                            scenario_.num_clients, master.split());
+  mac_->set_fault_injector(faults_.get());
+  uplink_->set_fault_injector(faults_.get());
   db_ = std::make_unique<Database>(sim_, scenario_.db, db_rng);
   sink_ = std::make_unique<StatsSink>(scenario_.warmup_s);
   server_ = make_server(scenario_.protocol, sim_, *mac_, *db_, scenario_.proto);
@@ -43,21 +50,30 @@ Simulation::Simulation(Scenario scenario)
   }
   for (std::uint32_t i = 0; i < M; ++i) {
     SleepModel* sleep = sleeps_[i].get();
+    FaultInjector* faults = faults_.get();
+    // A churned-away client is deaf exactly like a sleeping one: the composed
+    // gate feeds radio_needed() (connected() is constant-true when disabled).
     clients_.push_back(make_client(
         scenario_.protocol, sim_, *mac_, *uplink_, *server_, *db_, scenario_.proto,
-        links_[i].get(), [sleep] { return sleep->awake(); }, *sink_,
-        wl_rng.split()));
+        links_[i].get(),
+        [sleep, faults, i] { return sleep->awake() && faults->connected(i); },
+        *sink_, wl_rng.split()));
     if (clients_.back()->id() != i)
       throw std::logic_error("Simulation: client registration order violated");
+    clients_.back()->set_fault_injector(faults_.get());
   }
   for (std::uint32_t i = 0; i < M; ++i) {
     ClientProtocol* client = clients_[i].get();
     SleepModel* sleep = sleeps_[i].get();
+    FaultInjector* faults = faults_.get();
     queries_.push_back(std::make_unique<QueryGenerator>(
         sim_, scenario_.query, scenario_.db.num_items, wl_rng.split(),
-        [sleep] { return sleep->awake(); },
+        [sleep, faults, i] { return sleep->awake() && faults->connected(i); },
         [client](ItemId item) { client->on_query(item); }));
   }
+  faults_->set_churn_handler([this](ClientId c, bool connected) {
+    if (c < clients_.size()) clients_[c]->on_churn(connected);
+  });
 
   traffic_ = std::make_unique<TrafficGenerator>(
       sim_, scenario_.traffic, M, wl_rng.split(),
@@ -74,6 +90,7 @@ Simulation::Simulation(Scenario scenario)
   sim_.trace().configure(scenario_.trace, meta);
 
   server_->start();
+  faults_->start();
 }
 
 Simulation::~Simulation() = default;
@@ -189,6 +206,21 @@ Metrics Simulation::collect() const {
   }
   m.trace_events = sim_.trace().events();
   m.trace_dropped = sim_.trace().dropped();
+
+  // Fault/recovery telemetry (all zero when the layer is disabled or compiled
+  // out). Excluded from digests like m.kernel and the decomposition means.
+  const FaultStats fs = faults_->stats();
+  m.fault_ir_drops = fs.ir_drops;
+  m.fault_bcast_drops = fs.bcast_drops;
+  m.fault_uplink_drops = fs.uplink_drops;
+  m.churn_events = fs.churn_events;
+  m.churn_rejoins = fs.rejoins;
+  m.recoveries = fs.recoveries;
+  m.mean_recovery_s =
+      fs.recoveries
+          ? fs.recovery_time_s / static_cast<double>(fs.recoveries)
+          : 0.0;
+  m.stale_exposure = fs.stale_exposure;
 
   m.kernel = sim_.kernel_counters();
   return m;

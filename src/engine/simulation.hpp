@@ -18,6 +18,7 @@
 
 #include "engine/metrics.hpp"
 #include "engine/scenario.hpp"
+#include "faults/fault_injector.hpp"
 #include "mac/broadcast_mac.hpp"
 #include "mac/uplink.hpp"
 #include "phy/mcs.hpp"
@@ -56,6 +57,7 @@ class Simulation {
   std::size_t num_clients() const { return clients_.size(); }
   const StatsSink& sink() const { return *sink_; }
   const Scenario& scenario() const { return scenario_; }
+  const FaultInjector& faults() const { return *faults_; }
 
  private:
   double client_mean_snr(Rng& rng) const;
@@ -65,6 +67,7 @@ class Simulation {
   McsTable table_;
   std::unique_ptr<BroadcastMac> mac_;
   std::unique_ptr<UplinkChannel> uplink_;
+  std::unique_ptr<FaultInjector> faults_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<StatsSink> sink_;
   std::unique_ptr<ServerProtocol> server_;

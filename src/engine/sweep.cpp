@@ -45,6 +45,27 @@ std::vector<SweepVariant> protocol_variants(
   return out;
 }
 
+SweepAxis fault_ir_loss_axis(std::vector<double> values) {
+  return {"IR loss p", std::move(values), [](Scenario& s, double v) {
+            s.faults.enabled = true;
+            s.faults.ir_loss = v;
+          }};
+}
+
+SweepAxis fault_uplink_drop_axis(std::vector<double> values) {
+  return {"uplink drop p", std::move(values), [](Scenario& s, double v) {
+            s.faults.enabled = true;
+            s.faults.uplink_drop = v;
+          }};
+}
+
+SweepAxis fault_churn_rate_axis(std::vector<double> values) {
+  return {"churn rate (1/s)", std::move(values), [](Scenario& s, double v) {
+            s.faults.enabled = true;
+            s.faults.churn_rate = v;
+          }};
+}
+
 const SweepCell& SweepGrid::cell(std::size_t variant, std::size_t point) const {
   if (variant >= num_variants() || point >= num_points())
     throw std::out_of_range("SweepGrid::cell: index out of range");
@@ -311,6 +332,39 @@ void write_decomp_block(std::ostream& os, const std::vector<Metrics>& reps) {
      << "}";
 }
 
+/// Per-cell fault/recovery telemetry (all zero when the fault layer is
+/// disabled or compiled out — the schema stays stable either way).
+void write_faults_block(std::ostream& os, const std::vector<Metrics>& reps) {
+  os << "\"faults\": {"
+     << "\"ir_drops\": "
+     << json_num(metrics_mean(
+            reps, [](const Metrics& m) { return static_cast<double>(m.fault_ir_drops); }))
+     << ", \"bcast_drops\": "
+     << json_num(metrics_mean(
+            reps,
+            [](const Metrics& m) { return static_cast<double>(m.fault_bcast_drops); }))
+     << ", \"uplink_drops\": "
+     << json_num(metrics_mean(
+            reps,
+            [](const Metrics& m) { return static_cast<double>(m.fault_uplink_drops); }))
+     << ", \"churn_events\": "
+     << json_num(metrics_mean(
+            reps, [](const Metrics& m) { return static_cast<double>(m.churn_events); }))
+     << ", \"churn_rejoins\": "
+     << json_num(metrics_mean(
+            reps, [](const Metrics& m) { return static_cast<double>(m.churn_rejoins); }))
+     << ", \"recoveries\": "
+     << json_num(metrics_mean(
+            reps, [](const Metrics& m) { return static_cast<double>(m.recoveries); }))
+     << ", \"mean_recovery_s\": "
+     << json_num(
+            metrics_mean(reps, [](const Metrics& m) { return m.mean_recovery_s; }))
+     << ", \"stale_exposure\": "
+     << json_num(metrics_mean(
+            reps, [](const Metrics& m) { return static_cast<double>(m.stale_exposure); }))
+     << "}";
+}
+
 }  // namespace
 
 bool write_json(const SweepSpec& spec, const SweepOptions& opts,
@@ -352,6 +406,8 @@ bool write_json(const SweepSpec& spec, const SweepOptions& opts,
     }
     os << "},\n     ";
     write_decomp_block(os, cell.reps);
+    os << ",\n     ";
+    write_faults_block(os, cell.reps);
     os << ",\n     ";
     write_kernel_block(os, cell.reps);
     os << "}";

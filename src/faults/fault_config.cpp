@@ -1,0 +1,59 @@
+#include "faults/fault_config.hpp"
+
+#include <stdexcept>
+
+namespace wdc {
+
+FaultLossMode fault_loss_mode_from_string(const std::string& name) {
+  if (name == "bernoulli") return FaultLossMode::kBernoulli;
+  if (name == "burst") return FaultLossMode::kBurst;
+  throw std::invalid_argument("unknown fault loss mode: " + name);
+}
+
+std::string to_string(FaultLossMode m) {
+  switch (m) {
+    case FaultLossMode::kBernoulli: return "bernoulli";
+    case FaultLossMode::kBurst: return "burst";
+  }
+  return "?";
+}
+
+RejoinPolicy rejoin_policy_from_string(const std::string& name) {
+  if (name == "suspect") return RejoinPolicy::kSuspect;
+  if (name == "cold") return RejoinPolicy::kCold;
+  throw std::invalid_argument("unknown rejoin policy: " + name);
+}
+
+std::string to_string(RejoinPolicy p) {
+  switch (p) {
+    case RejoinPolicy::kSuspect: return "suspect";
+    case RejoinPolicy::kCold: return "cold";
+  }
+  return "?";
+}
+
+void FaultConfig::validate() const {
+  const auto prob = [](double p, const char* what) {
+    if (!(p >= 0.0 && p <= 1.0))
+      throw std::invalid_argument(std::string("FaultConfig: ") + what +
+                                  " must be in [0,1]");
+  };
+  prob(ir_loss, "ir_loss");
+  prob(bcast_loss, "bcast_loss");
+  prob(uplink_drop, "uplink_drop");
+  if (loss_mode == FaultLossMode::kBurst &&
+      (burst_mean_good_s <= 0.0 || burst_mean_bad_s <= 0.0))
+    throw std::invalid_argument(
+        "FaultConfig: burst sojourn means must be positive");
+  if (backoff_mult < 1.0)
+    throw std::invalid_argument("FaultConfig: backoff_mult >= 1");
+  if (backoff_cap_s <= 0.0)
+    throw std::invalid_argument("FaultConfig: backoff_cap_s > 0");
+  if (churn_rate < 0.0)
+    throw std::invalid_argument("FaultConfig: churn_rate >= 0");
+  if (churn_rate > 0.0 && churn_mean_down_s <= 0.0)
+    throw std::invalid_argument(
+        "FaultConfig: churn_mean_down_s > 0 when churn is on");
+}
+
+}  // namespace wdc

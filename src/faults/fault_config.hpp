@@ -1,0 +1,91 @@
+#ifndef WDC_FAULTS_FAULT_CONFIG_HPP
+#define WDC_FAULTS_FAULT_CONFIG_HPP
+
+/// @file fault_config.hpp
+/// Runtime configuration and counters of the fault-injection subsystem.
+///
+/// Like TraceConfig, this struct is compiled unconditionally — scenarios and
+/// sweeps parse identically whether the injector itself is built in
+/// (-DWDC_FAULTS=ON, the default) or stripped (-DWDC_FAULTS=OFF); a stripped
+/// build simply ignores it. The default (`enabled = false`) is digest-inert:
+/// no randomness is consumed and no behaviour changes, so golden digests hold
+/// bit-identically with the layer compiled in, disabled, or compiled out.
+
+#include <cstdint>
+#include <string>
+
+namespace wdc {
+
+/// How per-client downlink reception loss is drawn.
+enum class FaultLossMode {
+  kBernoulli,  ///< i.i.d. loss per reception
+  kBurst,      ///< Gilbert–Elliott gated: losses only while the client's
+               ///< two-state burst process is Bad (channel/gilbert_elliott)
+};
+
+FaultLossMode fault_loss_mode_from_string(const std::string& name);
+std::string to_string(FaultLossMode m);
+
+/// Cache disposition when a churned client reconnects.
+enum class RejoinPolicy {
+  kSuspect,  ///< keep entries, but nothing is certified until the next report
+             ///< decides (window covered → invalidate-and-certify; gap too
+             ///< long → Barbara–Imielinski full-cache drop)
+  kCold,     ///< restart from an empty, unsynchronised cache
+};
+
+RejoinPolicy rejoin_policy_from_string(const std::string& name);
+std::string to_string(RejoinPolicy p);
+
+/// Deterministic, scenario-driven fault schedule (part of Scenario; config
+/// keys `faults`, `fault_*` — see README). All probabilities are *additional*
+/// impairments on top of the PHY decode model: a faulted reception is an
+/// erasure at the radio, so it still costs listen airtime and still counts in
+/// report-loss accounting.
+struct FaultConfig {
+  bool enabled = false;  ///< master runtime switch
+
+  // --- downlink reception loss (per client, per completed transmission) ---
+  FaultLossMode loss_mode = FaultLossMode::kBernoulli;
+  double ir_loss = 0.0;     ///< loss prob. for report receptions (full + mini)
+  double bcast_loss = 0.0;  ///< loss prob. for item/data/control receptions
+  double burst_mean_good_s = 30.0;  ///< burst mode: mean Good sojourn
+  double burst_mean_bad_s = 3.0;    ///< burst mode: mean Bad sojourn
+
+  // --- uplink request drop ---
+  double uplink_drop = 0.0;  ///< prob. a request vanishes on the air
+  /// Client-side recovery: each re-request multiplies the timeout by
+  /// backoff_mult (capped at backoff_cap_s). With faults disabled the plain
+  /// request_timeout_s applies, bit-identically.
+  double backoff_mult = 2.0;
+  double backoff_cap_s = 120.0;
+
+  // --- client churn (disconnect / rejoin) ---
+  double churn_rate = 0.0;  ///< disconnects per client per second (0 disables)
+  double churn_mean_down_s = 30.0;  ///< mean disconnection window
+  RejoinPolicy rejoin = RejoinPolicy::kSuspect;
+
+  /// Cross-field sanity; throws std::invalid_argument on nonsense.
+  void validate() const;
+};
+
+/// Counters the injector accumulates over one run. Surfaced in Metrics (and
+/// therefore replication means and wdc_bench JSON) but — like the kernel perf
+/// counters — excluded from metrics_digest(), so builds with the layer
+/// compiled in and compiled out digest identically.
+struct FaultStats {
+  std::uint64_t ir_drops = 0;      ///< report receptions suppressed
+  std::uint64_t bcast_drops = 0;   ///< item/data/control receptions suppressed
+  std::uint64_t uplink_drops = 0;  ///< uplink requests lost
+  std::uint64_t churn_events = 0;  ///< client disconnects
+  std::uint64_t rejoins = 0;       ///< client reconnects
+  std::uint64_t recoveries = 0;    ///< consistency re-established post-rejoin
+  double recovery_time_s = 0.0;    ///< summed rejoin → consistency-point time
+  /// Cache entries invalidated or dropped at a post-rejoin recovery point —
+  /// copies that were exposed as potentially stale during the outage.
+  std::uint64_t stale_exposure = 0;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_FAULTS_FAULT_CONFIG_HPP

@@ -1,0 +1,127 @@
+#include "faults/fault_injector.hpp"
+
+#if WDC_FAULTS_ENABLED
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/gilbert_elliott.hpp"
+#include "util/check.hpp"
+#include "util/variates.hpp"
+
+namespace wdc {
+
+FaultInjector::FaultInjector(Simulator& sim, FaultConfig cfg,
+                             std::uint32_t num_clients, Rng rng)
+    : sim_(sim), cfg_(cfg), loss_rng_(rng.split()), churn_rng_(rng.split()) {
+  cfg_.validate();
+  connected_.assign(num_clients, 1);
+  if (!cfg_.enabled) return;
+  if (cfg_.loss_mode == FaultLossMode::kBurst) {
+    burst_.reserve(num_clients);
+    // The SNR arguments are irrelevant here: only the Good/Bad state gates
+    // loss. Each client gets a private stream so the processes are
+    // independent and insensitive to reception order.
+    for (std::uint32_t c = 0; c < num_clients; ++c)
+      burst_.push_back(std::make_unique<GilbertElliott>(
+          cfg_.burst_mean_good_s, cfg_.burst_mean_bad_s, 0.0, 0.0,
+          loss_rng_.split()));
+  }
+}
+
+FaultInjector::~FaultInjector() = default;
+
+void FaultInjector::start() {
+  if (!cfg_.enabled || cfg_.churn_rate <= 0.0) return;
+  for (std::uint32_t c = 0; c < connected_.size(); ++c)
+    schedule_disconnect(static_cast<ClientId>(c));
+}
+
+bool FaultInjector::connected(ClientId c) const {
+  return c >= connected_.size() || connected_[c] != 0;
+}
+
+void FaultInjector::schedule_disconnect(ClientId c) {
+  const double delay = Exponential(cfg_.churn_rate).sample(churn_rng_);
+  sim_.schedule_in(delay, [this, c] { disconnect(c); },
+                   EventPriority::kWorkload);
+}
+
+void FaultInjector::disconnect(ClientId c) {
+  WDC_ASSERT(connected_[c] != 0, "client ", c, " disconnected twice");
+  connected_[c] = 0;
+  ++stats_.churn_events;
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kChurnDisconnect, sim_.now(), c, kInvalidItem);
+  if (churn_) churn_(c, false);
+  const double down = Exponential(1.0 / cfg_.churn_mean_down_s).sample(churn_rng_);
+  sim_.schedule_in(down, [this, c] { rejoin(c); }, EventPriority::kWorkload);
+}
+
+void FaultInjector::rejoin(ClientId c) {
+  WDC_ASSERT(connected_[c] == 0, "client ", c, " rejoined while connected");
+  connected_[c] = 1;
+  ++stats_.rejoins;
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kChurnRejoin, sim_.now(), c, kInvalidItem);
+  if (churn_) churn_(c, true);
+  schedule_disconnect(c);
+}
+
+bool FaultInjector::drop_downlink(ClientId c, MsgKind kind, SimTime t) {
+  if (!cfg_.enabled) return false;
+  const bool is_report = kind == MsgKind::kInvalidationReport ||
+                         kind == MsgKind::kMiniReport;
+  const double p = is_report ? cfg_.ir_loss : cfg_.bcast_loss;
+  if (p <= 0.0) return false;
+  bool faulted = false;
+  if (cfg_.loss_mode == FaultLossMode::kBurst) {
+    // Gilbert–Elliott gating: the impairment only bites while this client's
+    // burst process is Bad; the state advance consumes no per-call draws.
+    if (c < burst_.size() && !burst_[c]->good(t))
+      faulted = loss_rng_.bernoulli(p);
+  } else {
+    faulted = loss_rng_.bernoulli(p);
+  }
+  if (faulted) {
+    if (is_report)
+      ++stats_.ir_drops;
+    else
+      ++stats_.bcast_drops;
+  }
+  return faulted;
+}
+
+bool FaultInjector::drop_uplink(ClientId c) {
+  if (!cfg_.enabled) return false;
+  if (!connected(c)) {
+    // A churned-away radio cannot reach the base station; no randomness.
+    ++stats_.uplink_drops;
+    return true;
+  }
+  if (cfg_.uplink_drop <= 0.0) return false;
+  if (!loss_rng_.bernoulli(cfg_.uplink_drop)) return false;
+  ++stats_.uplink_drops;
+  return true;
+}
+
+double FaultInjector::retry_timeout(double base_timeout_s,
+                                    unsigned attempt) const {
+  if (!cfg_.enabled) return base_timeout_s;
+  const double scaled =
+      base_timeout_s * std::pow(cfg_.backoff_mult, static_cast<double>(attempt));
+  return std::min(scaled, cfg_.backoff_cap_s);
+}
+
+void FaultInjector::record_recovery(ClientId, double recovery_s,
+                                    std::uint64_t exposed) {
+  ++stats_.recoveries;
+  stats_.recovery_time_s += recovery_s;
+  stats_.stale_exposure += exposed;
+}
+
+}  // namespace wdc
+
+#endif  // WDC_FAULTS_ENABLED

@@ -1,0 +1,131 @@
+#ifndef WDC_FAULTS_FAULT_INJECTOR_HPP
+#define WDC_FAULTS_FAULT_INJECTOR_HPP
+
+/// @file fault_injector.hpp
+/// Deterministic fault injection for the MAC and protocol layers.
+///
+/// Two gates, mirroring the trace recorder (trace/trace_recorder.hpp):
+///  * compile time — with WDC_FAULTS_ENABLED=0 (CMake -DWDC_FAULTS=OFF) the
+///    injector is an empty no-op class and every hook folds away;
+///  * run time — a compiled-in injector does nothing until a Scenario enables
+///    it (FaultConfig::enabled), so production sweeps pay one predictable
+///    branch per hook site.
+///
+/// Determinism contract: the injector owns private Rng streams split from the
+/// Simulation master AFTER every model stream, and a disabled injector never
+/// consumes randomness — so golden digests are bit-identical with the layer
+/// compiled in, disabled at run time, or compiled out entirely. Hook sites are
+/// likewise arranged so the model's own streams are drawn identically whether
+/// or not a fault then suppresses the outcome (see BroadcastMac::finish()).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "faults/fault_config.hpp"
+#include "mac/message.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+#ifndef WDC_FAULTS_ENABLED
+#define WDC_FAULTS_ENABLED 1
+#endif
+
+namespace wdc {
+
+class GilbertElliott;
+
+#if WDC_FAULTS_ENABLED
+
+class FaultInjector {
+ public:
+  /// Fired on every churn edge: (client, connected). The engine wires this to
+  /// ClientProtocol::on_churn.
+  using ChurnHandler = std::function<void(ClientId, bool)>;
+
+  FaultInjector(Simulator& sim, FaultConfig cfg, std::uint32_t num_clients,
+                Rng rng);
+  ~FaultInjector();
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Hook sites branch on this so a disabled run pays one predictable test.
+  bool enabled() const { return cfg_.enabled; }
+  const FaultConfig& config() const { return cfg_; }
+  bool rejoin_cold() const { return cfg_.rejoin == RejoinPolicy::kCold; }
+
+  void set_churn_handler(ChurnHandler fn) { churn_ = std::move(fn); }
+  /// Schedule the first per-client disconnects (no-op unless churn is on).
+  void start();
+
+  /// False while client `c` is churned away.
+  bool connected(ClientId c) const;
+
+  /// Should this completed downlink transmission be erased for client `c`?
+  /// Called only for receptions the PHY decoded (the decode draw happens
+  /// FIRST, unconditionally, so the MAC's Rng stream never depends on the
+  /// fault layer). Counts the drop when it happens.
+  bool drop_downlink(ClientId c, MsgKind kind, SimTime t);
+
+  /// Should this uplink request from `c` vanish on the air? Disconnected
+  /// clients always lose their requests (without consuming randomness).
+  bool drop_uplink(ClientId c);
+
+  /// Re-request timeout for the given retry attempt (0 = first wait):
+  /// min(base · backoff_mult^attempt, backoff_cap_s). Exactly `base` when the
+  /// injector is disabled, bit-identically.
+  double retry_timeout(double base_timeout_s, unsigned attempt) const;
+
+  /// A rejoined client re-established a consistency point `recovery_s` after
+  /// reconnecting, shedding `exposed` potentially stale cache entries.
+  void record_recovery(ClientId c, double recovery_s, std::uint64_t exposed);
+
+  FaultStats stats() const { return stats_; }
+
+ private:
+  void schedule_disconnect(ClientId c);
+  void disconnect(ClientId c);
+  void rejoin(ClientId c);
+
+  Simulator& sim_;
+  FaultConfig cfg_;
+  Rng loss_rng_;
+  Rng churn_rng_;
+  std::vector<char> connected_;
+  /// Burst mode: one two-state process per client (losses only while Bad).
+  std::vector<std::unique_ptr<GilbertElliott>> burst_;
+  ChurnHandler churn_;
+  FaultStats stats_;
+};
+
+#else
+
+/// Stripped build: every hook compiles to nothing; enabled() is a constant so
+/// guarded call sites fold away entirely.
+class FaultInjector {
+ public:
+  using ChurnHandler = std::function<void(ClientId, bool)>;
+
+  FaultInjector(Simulator&, FaultConfig, std::uint32_t, Rng) {}
+  bool enabled() const { return false; }
+  FaultConfig config() const { return {}; }
+  bool rejoin_cold() const { return false; }
+  void set_churn_handler(ChurnHandler) {}
+  void start() {}
+  bool connected(ClientId) const { return true; }
+  bool drop_downlink(ClientId, MsgKind, SimTime) { return false; }
+  bool drop_uplink(ClientId) { return false; }
+  double retry_timeout(double base_timeout_s, unsigned) const {
+    return base_timeout_s;
+  }
+  void record_recovery(ClientId, double, std::uint64_t) {}
+  FaultStats stats() const { return {}; }
+};
+
+#endif  // WDC_FAULTS_ENABLED
+
+}  // namespace wdc
+
+#endif  // WDC_FAULTS_FAULT_INJECTOR_HPP

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "faults/fault_injector.hpp"
+
 namespace wdc {
 
 const char* to_string(MsgKind k) {
@@ -131,8 +133,22 @@ void BroadcastMac::finish() {
     const double snr = pe.port.link->snr_db(t);
     const double p_ok = table_.decode_prob(fl.q.msg.bits, fl.mcs, snr);
     const bool decoded = rng_.bernoulli(p_ok);
-    if (decoded && c == fl.q.msg.dest) dest_decoded = true;
-    const Reception rx{fl.q.msg, decoded, fl.airtime_s, fl.mcs};
+    // Fault erasure applies AFTER the (unconditional) decode draw: an erased
+    // reception looks exactly like a PHY decode failure downstream, and a
+    // faulted unicast frame re-enters ARQ like any other loss.
+    const bool faulted = faults_ != nullptr && faults_->enabled() && decoded &&
+                         faults_->drop_downlink(static_cast<ClientId>(c),
+                                                fl.q.msg.kind, t);
+    const bool ok = decoded && !faulted;
+    if (faulted) {
+      auto& tr = sim_.trace();
+      if (tr.enabled())
+        tr.emit(TraceEventKind::kFaultDownlinkDrop, t,
+                static_cast<ClientId>(c), fl.q.msg.item,
+                static_cast<double>(fl.q.msg.kind));
+    }
+    if (ok && c == fl.q.msg.dest) dest_decoded = true;
+    const Reception rx{fl.q.msg, ok, fl.airtime_s, fl.mcs};
     pe.port.on_reception(rx);
   }
 

@@ -35,6 +35,8 @@
 
 namespace wdc {
 
+class FaultInjector;
+
 struct MacConfig {
   AmcConfig amc;                     ///< link-adaptation settings (shared)
   double broadcast_percentile = 0.25;///< design coverage percentile of listener SNR
@@ -78,6 +80,11 @@ class BroadcastMac {
   using TxObserver = std::function<void(const Message&, std::size_t mcs,
                                         double airtime_s)>;
   void set_tx_observer(TxObserver obs) { tx_observer_ = std::move(obs); }
+
+  /// Optional fault layer (src/faults): when set, decoded receptions may be
+  /// erased per client. The decode draw always happens first, so the MAC's Rng
+  /// stream is identical whether or not faults then suppress the outcome.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
   /// Queue a message for transmission.
   void enqueue(Message msg);
@@ -154,6 +161,7 @@ class BroadcastMac {
   Summary bcast_mcs_;
   std::size_t last_bcast_mcs_ = kNoMcsYet;
   TxObserver tx_observer_;
+  FaultInjector* faults_ = nullptr;
   mutable std::uint64_t mutations_ = 0;
 };
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "faults/fault_injector.hpp"
+
 namespace wdc {
 
 UplinkChannel::UplinkChannel(Simulator& sim, UplinkConfig cfg, Rng rng)
@@ -15,6 +17,12 @@ void UplinkChannel::send(ClientId from, Bits bits, std::function<void()> deliver
   if (tr.enabled())
     tr.emit(TraceEventKind::kUplinkSend, sim_.now(), from, kInvalidItem,
             static_cast<double>(bits));
+  if (faults_ != nullptr && faults_->enabled() && faults_->drop_uplink(from)) {
+    // Lost on the air: never enters the contention model, never delivers.
+    if (tr.enabled())
+      tr.emit(TraceEventKind::kFaultUplinkDrop, sim_.now(), from, kInvalidItem);
+    return;
+  }
   ++in_flight_;
   const double load = static_cast<double>(in_flight_);
   double delay = cfg_.base_delay_s;

@@ -20,6 +20,8 @@
 
 namespace wdc {
 
+class FaultInjector;
+
 struct UplinkConfig {
   double base_delay_s = 0.05;     ///< RACH + processing floor
   double jitter_mean_s = 0.02;    ///< mean exponential jitter per in-flight request
@@ -30,7 +32,14 @@ class UplinkChannel {
   UplinkChannel(Simulator& sim, UplinkConfig cfg, Rng rng);
 
   /// Send `bits` from `from`; `deliver` runs at the server when the request lands.
+  /// A fault-injected drop silently swallows the request (the client's timeout
+  /// and retry machinery is the recovery path, as on a real RACH).
   void send(ClientId from, Bits bits, std::function<void()> deliver);
+
+  /// Optional fault layer (src/faults): when set, requests may vanish on the
+  /// air. The drop check runs before the jitter draw, so the channel's Rng
+  /// stream is untouched by requests that never make it.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
   std::uint64_t requests() const { return requests_; }
   Bits bits_sent() const { return bits_; }
@@ -45,6 +54,7 @@ class UplinkChannel {
   Bits bits_ = 0;
   std::size_t in_flight_ = 0;
   Summary delay_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace wdc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "faults/fault_injector.hpp"
 #include "util/check.hpp"
 
 namespace wdc {
@@ -58,7 +59,10 @@ void ClientProtocol::enqueue_pending(ItemId item, SimTime qtime, bool awaiting) 
 void ClientProtocol::on_sleep_transition(bool awake) {
   note_radio_state();
   if (awake) return;  // wake-up: the next report re-synchronises us
-  // Going to sleep: abandon pending queries and their re-request timers.
+  abandon_pending();
+}
+
+void ClientProtocol::abandon_pending() {
   auto& tr = sim_.trace();
   for (const auto& q : pending_) {
     sink_.record_dropped(q.qtime);
@@ -68,6 +72,40 @@ void ClientProtocol::on_sleep_transition(bool awake) {
   pending_.clear();
   for (auto& rt : request_timers_) sim_.cancel(rt.timer);
   request_timers_.clear();
+}
+
+void ClientProtocol::on_churn(bool connected) {
+  note_radio_state();
+  if (!connected) {
+    // Radio gone: like sleep, pending work cannot complete.
+    abandon_pending();
+    recovering_ = false;
+    return;
+  }
+  // Rejoin: recovery runs until the next consistency point certifies us.
+  recovering_ = true;
+  rejoin_at_ = sim_.now();
+  exposed_ = 0;
+  if (faults_ != nullptr && faults_->rejoin_cold() && !cache_.empty()) {
+    // Cold rejoin: everything held through the outage is suspect — shed it and
+    // restart unsynchronised (tc_ = 0 forces the full-resync path).
+    exposed_ += cache_.size();
+    sink_.record_cache_drop();
+    cache_.clear();
+    tc_ = 0.0;
+  }
+}
+
+void ClientProtocol::note_consistency_reached() {
+  if (!recovering_) return;
+  recovering_ = false;
+  const double recovery_s = sim_.now() - rejoin_at_;
+  if (faults_ != nullptr) faults_->record_recovery(id_, recovery_s, exposed_);
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kRecovery, sim_.now(), id_, kInvalidItem, recovery_s,
+            static_cast<double>(exposed_));
+  exposed_ = 0;
 }
 
 // ------------------------------------------------------------ radio / tuning --
@@ -234,10 +272,12 @@ void ClientProtocol::apply_digest(const PiggyDigest& digest) {
     cache_.revalidate_all(digest.stamp);
     if (digest.stamp > tc_) tc_ = digest.stamp;
     answer_pending(/*via_digest=*/true);
+    note_consistency_reached();
   }
 }
 
 void ClientProtocol::drop_cache_and_resync(SimTime stamp) {
+  if (recovering_) exposed_ += cache_.size();
   if (!cache_.empty()) sink_.record_cache_drop();
   cache_.clear();
   finish_report(stamp);
@@ -249,13 +289,17 @@ void ClientProtocol::invalidate_if_older(ItemId id, SimTime updated_at) {
 }
 
 void ClientProtocol::invalidate(ItemId id) {
-  if (cache_.erase(id)) cache_.note_invalidation();
+  if (cache_.erase(id)) {
+    cache_.note_invalidation();
+    if (recovering_) ++exposed_;
+  }
 }
 
 void ClientProtocol::finish_report(SimTime stamp) {
   cache_.revalidate_all(stamp);
   if (stamp > tc_) tc_ = stamp;
   answer_pending();
+  note_consistency_reached();
   // Selective tuning: a consistency point ends the current listening window.
   if (cfg_.selective_tuning && tuned_on_) {
     if (tune_timer_.valid()) sim_.cancel(tune_timer_);
@@ -355,14 +399,31 @@ void ClientProtocol::note_uplink_delivered(ItemId item) {
 }
 
 void ClientProtocol::arm_request_timer(ItemId item) {
+  // Fault-layer backoff: each re-request stretches the timeout geometrically
+  // (capped). With faults disabled the plain timeout applies, bit-identically.
+  unsigned attempt = 0;
+  for (const auto& rt : request_timers_)
+    if (rt.item == item) {
+      attempt = rt.attempts;
+      break;
+    }
+  const double timeout =
+      faults_ != nullptr && faults_->enabled()
+          ? faults_->retry_timeout(cfg_.request_timeout_s, attempt)
+          : cfg_.request_timeout_s;
   const EventId timer = sim_.schedule_in(
-      cfg_.request_timeout_s,
+      timeout,
       [this, item] {
         // The broadcast never arrived (lost or dropped): ask again.
         sink_.record_request_retry();
         auto& tr = sim_.trace();
         if (tr.enabled())
           tr.emit(TraceEventKind::kUplinkRetry, sim_.now(), id_, item);
+        for (auto& rt : request_timers_)
+          if (rt.item == item) {
+            ++rt.attempts;
+            break;
+          }
         send_request(item);
         arm_request_timer(item);
       },

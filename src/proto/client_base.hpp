@@ -49,6 +49,8 @@
 
 namespace wdc {
 
+class FaultInjector;
+
 class ClientProtocol {
  public:
   /// Registers the client with the MAC. `oracle` is the server database, used
@@ -69,6 +71,18 @@ class ClientProtocol {
   /// Sleep-model edge. Engine wires SleepModel::on_transition here. Overrides
   /// must call the base implementation.
   virtual void on_sleep_transition(bool awake);
+
+  /// Churn edge from the fault layer (src/faults). Disconnecting abandons
+  /// pending work like sleep does; rejoining starts the recovery clock. The
+  /// cache disposition follows FaultConfig::rejoin — `cold` restarts from an
+  /// empty, unsynchronised cache; `suspect` keeps entries and lets the next
+  /// report decide (covered window → invalidate-and-certify; gap too long →
+  /// Barbara–Imielinski full-cache drop via handle_full's window check).
+  void on_churn(bool connected);
+
+  /// Optional fault layer: enables backoff on re-requests and receives the
+  /// recovery telemetry. The engine sets this before the simulation starts.
+  void set_fault_injector(FaultInjector* f) { faults_ = f; }
 
   ClientId id() const { return id_; }
   const LruCache& cache() const { return cache_; }
@@ -189,12 +203,19 @@ class ClientProtocol {
     bool awaiting = false;  ///< miss decided; waiting for the item broadcast
   };
 
+  /// Abandon pending queries and their re-request timers (sleep, churn).
+  void abandon_pending();
+  /// A consistency point was just (re-)established: close an open recovery
+  /// window and report its telemetry to the fault layer.
+  void note_consistency_reached();
+
   /// One in-flight uplink fetch: its re-request timer and, for the trace
   /// decomposition, when the last request for it reached the server.
   struct RequestState {
     ItemId item;
     EventId timer;
     SimTime delivered_at = -1.0;  ///< < 0: still in flight
+    unsigned attempts = 0;        ///< re-requests so far (fault-layer backoff)
   };
 
   BroadcastMac& mac_;
@@ -208,6 +229,11 @@ class ClientProtocol {
   /// handful of items at most, so a flat scan beats hashing — and report
   /// application probes this on the hot path.
   std::vector<RequestState> request_timers_;
+
+  FaultInjector* faults_ = nullptr;
+  bool recovering_ = false;    ///< rejoined, consistency not yet re-established
+  SimTime rejoin_at_ = 0.0;
+  std::uint64_t exposed_ = 0;  ///< suspect entries shed during this recovery
 
   bool tuned_on_ = true;       ///< selective tuning: window currently open
   std::uint64_t grid_tick_ = 0;

@@ -1,0 +1,282 @@
+#include "proto/report_codec.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace wdc {
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'W';
+constexpr std::uint8_t kMagic1 = 'R';
+
+// --- encoding -------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+ByteWriter header(ReportWireKind kind, std::size_t reserve) {
+  ByteWriter w(reserve + 4);
+  w.u8(kMagic0);
+  w.u8(kMagic1);
+  w.u8(kReportCodecVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  return w;
+}
+
+// --- decoding -------------------------------------------------------------
+
+/// Bounds-checked cursor over the input buffer. Every accessor returns false
+/// once the buffer is exhausted; `error` keeps the FIRST failure reason.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+
+  bool u8(std::uint8_t* out, const char* what) {
+    if (!need(1, what)) return false;
+    *out = *p_++;
+    return true;
+  }
+  bool u32(std::uint32_t* out, const char* what) {
+    if (!need(sizeof *out, what)) return false;
+    std::memcpy(out, p_, sizeof *out);
+    p_ += sizeof *out;
+    return true;
+  }
+  bool f64(double* out, const char* what) {
+    if (!need(sizeof *out, what)) return false;
+    std::memcpy(out, p_, sizeof *out);
+    p_ += sizeof *out;
+    if (!std::isfinite(*out)) return fail("non-finite", what);
+    return true;
+  }
+
+  /// Read a u32 element count and pre-validate it against the bytes actually
+  /// left, so a corrupted count can neither overrun nor trigger a huge
+  /// allocation.
+  bool count(std::size_t entry_bytes, std::size_t* out, const char* what) {
+    std::uint32_t n = 0;
+    if (!u32(&n, what)) return false;
+    if (static_cast<std::size_t>(n) * entry_bytes > remaining())
+      return fail("list overruns buffer:", what);
+    *out = n;
+    return true;
+  }
+
+  bool fail(const char* why, const char* what) {
+    if (error_.empty()) error_ = std::string(why) + " " + what;
+    return false;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool need(std::size_t n, const char* what) {
+    if (remaining() >= n) return true;
+    return fail("truncated at", what);
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  std::string error_;
+};
+
+bool read_id_time_pairs(ByteReader& r,
+                        std::vector<std::pair<ItemId, SimTime>>* out,
+                        const char* what) {
+  std::size_t n = 0;
+  if (!r.count(sizeof(ItemId) + sizeof(SimTime), &n, what)) return false;
+  out->resize(n);
+  for (auto& [id, t] : *out)
+    if (!r.u32(&id, what) || !r.f64(&t, what)) return false;
+  return true;
+}
+
+bool read_ids(ByteReader& r, std::vector<ItemId>* out, const char* what) {
+  std::size_t n = 0;
+  if (!r.count(sizeof(ItemId), &n, what)) return false;
+  out->resize(n);
+  for (auto& id : *out)
+    if (!r.u32(&id, what)) return false;
+  return true;
+}
+
+std::shared_ptr<const Payload> decode_body(ByteReader& r, ReportWireKind kind) {
+  switch (kind) {
+    case ReportWireKind::kFull: {
+      auto p = std::make_shared<FullReport>();
+      if (!r.f64(&p->stamp, "full.stamp") ||
+          !r.f64(&p->window_start, "full.window_start") ||
+          !read_id_time_pairs(r, &p->updates, "full.updates"))
+        return nullptr;
+      return p;
+    }
+    case ReportWireKind::kMini: {
+      auto p = std::make_shared<MiniReport>();
+      if (!r.f64(&p->stamp, "mini.stamp") ||
+          !r.f64(&p->anchor, "mini.anchor") ||
+          !read_ids(r, &p->updated, "mini.updated"))
+        return nullptr;
+      return p;
+    }
+    case ReportWireKind::kSig: {
+      auto p = std::make_shared<SigReport>();
+      if (!r.f64(&p->stamp, "sig.stamp") ||
+          !r.f64(&p->window_start, "sig.window_start") ||
+          !r.f64(&p->fp_prob, "sig.fp_prob") ||
+          !read_ids(r, &p->updated, "sig.updated"))
+        return nullptr;
+      if (p->fp_prob < 0.0 || p->fp_prob > 1.0) {
+        r.fail("probability out of [0,1]:", "sig.fp_prob");
+        return nullptr;
+      }
+      return p;
+    }
+    case ReportWireKind::kDigest: {
+      auto p = std::make_shared<PiggyDigest>();
+      std::uint8_t complete = 0;
+      if (!r.f64(&p->stamp, "digest.stamp") ||
+          !r.f64(&p->horizon_start, "digest.horizon_start") ||
+          !r.u8(&complete, "digest.complete") ||
+          !read_ids(r, &p->updated, "digest.updated"))
+        return nullptr;
+      if (complete > 1) {
+        r.fail("boolean out of {0,1}:", "digest.complete");
+        return nullptr;
+      }
+      p->complete = complete != 0;
+      return p;
+    }
+    case ReportWireKind::kBs: {
+      auto p = std::make_shared<BsReport>();
+      if (!r.f64(&p->stamp, "bs.stamp")) return nullptr;
+      std::size_t nb = 0;
+      if (!r.count(sizeof(SimTime), &nb, "bs.boundaries")) return nullptr;
+      p->boundaries.resize(nb);
+      for (auto& b : p->boundaries)
+        if (!r.f64(&b, "bs.boundaries")) return nullptr;
+      if (!read_id_time_pairs(r, &p->updates, "bs.updates")) return nullptr;
+      return p;
+    }
+  }
+  r.fail("unknown", "report kind");
+  return nullptr;
+}
+
+}  // namespace
+
+const char* to_string(ReportWireKind k) {
+  switch (k) {
+    case ReportWireKind::kFull: return "FULL";
+    case ReportWireKind::kMini: return "MINI";
+    case ReportWireKind::kSig: return "SIG";
+    case ReportWireKind::kDigest: return "DIGEST";
+    case ReportWireKind::kBs: return "BS";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_report(const FullReport& r) {
+  ByteWriter w = header(ReportWireKind::kFull, 20 + 12 * r.updates.size());
+  w.f64(r.stamp);
+  w.f64(r.window_start);
+  w.count(r.updates.size());
+  for (const auto& [id, t] : r.updates) {
+    w.u32(id);
+    w.f64(t);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_report(const MiniReport& r) {
+  ByteWriter w = header(ReportWireKind::kMini, 20 + 4 * r.updated.size());
+  w.f64(r.stamp);
+  w.f64(r.anchor);
+  w.count(r.updated.size());
+  for (const ItemId id : r.updated) w.u32(id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_report(const SigReport& r) {
+  ByteWriter w = header(ReportWireKind::kSig, 28 + 4 * r.updated.size());
+  w.f64(r.stamp);
+  w.f64(r.window_start);
+  w.f64(r.fp_prob);
+  w.count(r.updated.size());
+  for (const ItemId id : r.updated) w.u32(id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_report(const PiggyDigest& r) {
+  ByteWriter w = header(ReportWireKind::kDigest, 21 + 4 * r.updated.size());
+  w.f64(r.stamp);
+  w.f64(r.horizon_start);
+  w.u8(r.complete ? 1 : 0);
+  w.count(r.updated.size());
+  for (const ItemId id : r.updated) w.u32(id);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_report(const BsReport& r) {
+  ByteWriter w = header(ReportWireKind::kBs,
+                        16 + 8 * r.boundaries.size() + 12 * r.updates.size());
+  w.f64(r.stamp);
+  w.count(r.boundaries.size());
+  for (const SimTime b : r.boundaries) w.f64(b);
+  w.count(r.updates.size());
+  for (const auto& [id, t] : r.updates) {
+    w.u32(id);
+    w.f64(t);
+  }
+  return w.take();
+}
+
+bool decode_report(const std::uint8_t* data, std::size_t size,
+                   DecodedReport* out, std::string* error) {
+  const auto set_error = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  ByteReader r(data, size);
+  std::uint8_t m0 = 0, m1 = 0, version = 0, kind = 0;
+  if (!r.u8(&m0, "magic") || !r.u8(&m1, "magic"))
+    return set_error(r.error());
+  if (m0 != kMagic0 || m1 != kMagic1) return set_error("bad magic");
+  if (!r.u8(&version, "version")) return set_error(r.error());
+  if (version != kReportCodecVersion)
+    return set_error("unsupported version " + std::to_string(version));
+  if (!r.u8(&kind, "kind")) return set_error(r.error());
+  if (kind > static_cast<std::uint8_t>(ReportWireKind::kBs))
+    return set_error("unknown report kind " + std::to_string(kind));
+
+  const auto wire_kind = static_cast<ReportWireKind>(kind);
+  auto payload = decode_body(r, wire_kind);
+  if (payload == nullptr) return set_error(r.error());
+  if (r.remaining() != 0)
+    return set_error(std::to_string(r.remaining()) + " trailing bytes");
+  out->kind = wire_kind;
+  out->payload = std::move(payload);
+  return true;
+}
+
+}  // namespace wdc

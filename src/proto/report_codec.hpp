@@ -1,0 +1,63 @@
+#ifndef WDC_PROTO_REPORT_CODEC_HPP
+#define WDC_PROTO_REPORT_CODEC_HPP
+
+/// @file report_codec.hpp
+/// Binary (de)serialization of the broadcastable report payloads.
+///
+/// In-simulator messages travel as shared_ptr<Payload>; this codec defines the
+/// byte-level wire image for anything that needs to leave the process (trace
+/// tooling, future record/replay, test fixtures). Layout, native-endian like
+/// the .wdct trace format (machine-local, not interchange):
+///
+///   'W' 'R'  version:u8  kind:u8  <kind-specific fields>
+///
+/// Variable-length lists are u32-count-prefixed; the decoder rejects any count
+/// whose entries could not fit in the remaining bytes BEFORE allocating, so a
+/// flipped length byte cannot balloon memory. Every read is bounds-checked and
+/// trailing bytes are an error — corrupt input fails cleanly with a reason,
+/// never UB (the fuzz-style tests in tests/proto hammer exactly this).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "proto/reports.hpp"
+
+namespace wdc {
+
+inline constexpr std::uint8_t kReportCodecVersion = 1;
+
+/// Wire discriminator of the encoded payload type.
+enum class ReportWireKind : std::uint8_t {
+  kFull = 0,
+  kMini = 1,
+  kSig = 2,
+  kDigest = 3,
+  kBs = 4,
+};
+
+const char* to_string(ReportWireKind k);
+
+std::vector<std::uint8_t> encode_report(const FullReport& r);
+std::vector<std::uint8_t> encode_report(const MiniReport& r);
+std::vector<std::uint8_t> encode_report(const SigReport& r);
+std::vector<std::uint8_t> encode_report(const PiggyDigest& r);
+std::vector<std::uint8_t> encode_report(const BsReport& r);
+
+/// A successfully decoded payload; cast `payload` per `kind`.
+struct DecodedReport {
+  ReportWireKind kind = ReportWireKind::kFull;
+  std::shared_ptr<const Payload> payload;
+};
+
+/// Decode one encoded report. Returns false (and sets *error when non-null)
+/// on any structural defect: short buffer, bad magic/version/kind, list that
+/// overruns the buffer, non-finite timestamp, or trailing bytes.
+bool decode_report(const std::uint8_t* data, std::size_t size,
+                   DecodedReport* out, std::string* error = nullptr);
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_REPORT_CODEC_HPP

@@ -1,0 +1,36 @@
+/// FIG-F — Resilience under injected IR loss (fault layer, src/faults).
+///
+/// Expected shape: every scheme's latency grows with the loss probability (a
+/// missed report stalls the consistency point a full interval), and stateless
+/// schemes pay with cache drops where UIR's minis and PIG/HYB's digests patch
+/// the gap sooner. Stale serves stay zero throughout — loss degrades latency,
+/// never consistency.
+
+#include "sweeps/sweeps.hpp"
+
+namespace wdc::sweeps {
+
+SweepSpec figf() {
+  SweepSpec s;
+  s.key = "figf";
+  s.id = "FIG-F";
+  s.title = "resilience vs injected IR loss";
+  s.axis = fault_ir_loss_axis({0.0, 0.1, 0.2, 0.4});
+  s.variants = protocol_variants({ProtocolKind::kTs, ProtocolKind::kUir,
+                                  ProtocolKind::kLair, ProtocolKind::kPig,
+                                  ProtocolKind::kHyb});
+  s.series = {{"mean latency (s)", "lat_",
+               [](const Metrics& m) { return m.mean_latency_s; }, 3},
+              {"cache hit ratio", "hits_",
+               [](const Metrics& m) { return m.hit_ratio; }, 4},
+              {"report loss rate (PHY + fault)", "loss_",
+               [](const Metrics& m) { return m.report_loss_rate; }, 4},
+              {"stale serves (must stay 0)", "stale_",
+               [](const Metrics& m) {
+                 return static_cast<double>(m.stale_serves);
+               },
+               1}};
+  return s;
+}
+
+}  // namespace wdc::sweeps

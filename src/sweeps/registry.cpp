@@ -27,7 +27,7 @@ SweepOptions options_from_config(const Config& cfg) {
 const std::vector<SweepSpec>& all() {
   static const std::vector<SweepSpec> specs = {
       fig1(), fig2(), fig3(), fig4(),  fig5(), fig6(), fig7(),
-      fig8(), fig9(), fig10(), tab1(), tab2(), tab3()};
+      fig8(), fig9(), fig10(), figf(), tab1(), tab2(), tab3()};
   return specs;
 }
 

@@ -47,6 +47,7 @@ SweepSpec fig7();   ///< LAIR gain vs Doppler
 SweepSpec fig8();   ///< impact of client disconnection (sleep)
 SweepSpec fig9();   ///< listen airtime per query (energy proxy)
 SweepSpec fig10();  ///< selective tuning: radio-on time vs latency
+SweepSpec figf();   ///< resilience vs injected IR loss (fault layer)
 SweepSpec tab1();   ///< protocol summary at the default operating point
 SweepSpec tab2();   ///< HYB ablation
 SweepSpec tab3();   ///< IR schemes vs non-IR baselines

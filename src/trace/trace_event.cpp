@@ -19,6 +19,11 @@ const char* to_string(TraceEventKind k) {
     case TraceEventKind::kSleep: return "SLEEP";
     case TraceEventKind::kWake: return "WAKE";
     case TraceEventKind::kMcsSwitch: return "MCS_SWITCH";
+    case TraceEventKind::kFaultDownlinkDrop: return "FAULT_DL_DROP";
+    case TraceEventKind::kFaultUplinkDrop: return "FAULT_UL_DROP";
+    case TraceEventKind::kChurnDisconnect: return "CHURN_DISCONNECT";
+    case TraceEventKind::kChurnRejoin: return "CHURN_REJOIN";
+    case TraceEventKind::kRecovery: return "RECOVERY";
   }
   return "?";
 }

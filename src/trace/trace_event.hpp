@@ -37,8 +37,15 @@ enum class TraceEventKind : std::uint8_t {
   kSleep = 12,          ///< client radio off (sleep model)
   kWake = 13,           ///< client radio back on
   kMcsSwitch = 14,      ///< broadcast MCS changed (a = new, b = previous)
+  // Fault-injection kinds (src/faults; absent unless a scenario enables them).
+  kFaultDownlinkDrop = 15,  ///< decoded reception erased by a fault (a = MsgKind)
+  kFaultUplinkDrop = 16,    ///< uplink request lost on the air
+  kChurnDisconnect = 17,    ///< client churned away (radio unreachable)
+  kChurnRejoin = 18,        ///< churned client reconnected
+  kRecovery = 19,           ///< consistency re-established after a rejoin
+                            ///< (a = recovery seconds, b = exposed entries)
 };
-inline constexpr std::size_t kNumTraceEventKinds = 15;
+inline constexpr std::size_t kNumTraceEventKinds = 20;
 
 const char* to_string(TraceEventKind k);
 

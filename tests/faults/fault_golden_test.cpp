@@ -1,0 +1,96 @@
+/// Digest-inertness proofs for the fault layer, against the SAME pinned table
+/// the golden tier uses (tests/engine/golden_table.hpp):
+///
+///  * compiled in + disabled (faults=false), with every knob armed — every
+///    protocol must still digest bit-identically to the pinned expectation;
+///  * enabled with all-zero probabilities and churn off — still bit-identical
+///    (no hook consumes randomness or changes a timeout);
+///  * enabled with real loss — the digest MUST move and the counters MUST be
+///    non-zero, proving the hooks are actually live (a test suite that only
+///    checks inertness would pass with the layer unplugged).
+///
+/// Under -DWDC_FAULTS=OFF the first proof still runs (the stripped build must
+/// also match the pinned table); the live-hook proof is skipped.
+
+#include <gtest/gtest.h>
+
+#include "engine/digest.hpp"
+#include "engine/simulation.hpp"
+#include "faults/fault_injector.hpp"
+#include "golden_table.hpp"
+
+namespace wdc {
+namespace {
+
+/// Every fault knob armed; `enabled` left to the caller.
+FaultConfig armed_knobs() {
+  FaultConfig f;
+  f.loss_mode = FaultLossMode::kBurst;
+  f.ir_loss = 0.5;
+  f.bcast_loss = 0.25;
+  f.burst_mean_good_s = 20.0;
+  f.burst_mean_bad_s = 4.0;
+  f.uplink_drop = 0.3;
+  f.backoff_mult = 2.5;
+  f.backoff_cap_s = 90.0;
+  f.churn_rate = 0.01;
+  f.churn_mean_down_s = 15.0;
+  f.rejoin = RejoinPolicy::kCold;
+  return f;
+}
+
+class FaultGolden : public ::testing::TestWithParam<GoldenEntry> {};
+
+TEST_P(FaultGolden, DisabledLayerLeavesDigestPinned) {
+  const GoldenEntry& expect = GetParam();
+  Scenario s = golden_scenario(expect.protocol);
+  s.faults = armed_knobs();
+  s.faults.enabled = false;  // the master switch is the ONLY gate
+  const Metrics m = run_scenario(s);
+  EXPECT_EQ(metrics_digest(m), expect.digest)
+      << to_string(expect.protocol)
+      << ": a disabled fault layer perturbed the simulation";
+  EXPECT_EQ(m.fault_ir_drops + m.fault_bcast_drops + m.fault_uplink_drops +
+                m.churn_events + m.churn_rejoins + m.recoveries +
+                m.stale_exposure,
+            0u);
+}
+
+#if WDC_FAULTS_ENABLED
+
+TEST_P(FaultGolden, EnabledWithZeroRatesIsStillPinned) {
+  const GoldenEntry& expect = GetParam();
+  Scenario s = golden_scenario(expect.protocol);
+  s.faults.enabled = true;
+  // All probabilities zero, churn off, and backoff_mult 1 so retry timeouts
+  // stay exactly request_timeout_s: every hook runs but must change nothing.
+  s.faults.backoff_mult = 1.0;
+  const Metrics m = run_scenario(s);
+  EXPECT_EQ(metrics_digest(m), expect.digest)
+      << to_string(expect.protocol)
+      << ": enabled-but-zero-rate faults perturbed the simulation";
+}
+
+TEST(FaultGoldenLive, RealLossMovesTheDigestAndCounters) {
+  Scenario s = golden_scenario(ProtocolKind::kTs);
+  s.faults = armed_knobs();
+  s.faults.enabled = true;
+  const Metrics m = run_scenario(s);
+  EXPECT_NE(metrics_digest(m), kGolden[0].digest)
+      << "heavy injected loss left TS bit-identical — hooks are dead";
+  EXPECT_GT(m.fault_ir_drops, 0u);
+  EXPECT_GT(m.fault_uplink_drops, 0u);
+  EXPECT_GT(m.churn_events, 0u);
+  EXPECT_EQ(m.stale_serves, 0u);
+}
+
+#endif  // WDC_FAULTS_ENABLED
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAndBaselines, FaultGolden, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenEntry>& tpi) {
+      return to_string(tpi.param.protocol);
+    });
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,252 @@
+/// Unit tests of the FaultInjector itself: config validation, the two-gate
+/// inertness contract, loss statistics in both modes, backoff shape, and the
+/// churn schedule. Engine-level behaviour (recovery, digests) lives in
+/// fault_golden_test.cpp and fault_property_test.cpp.
+
+#include "faults/fault_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "faults/fault_config.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+// ------------------------------------------------------------------ config --
+
+TEST(FaultConfig, StringRoundTrips) {
+  EXPECT_EQ(fault_loss_mode_from_string("bernoulli"),
+            FaultLossMode::kBernoulli);
+  EXPECT_EQ(fault_loss_mode_from_string("burst"), FaultLossMode::kBurst);
+  EXPECT_EQ(to_string(FaultLossMode::kBurst), "burst");
+  EXPECT_EQ(rejoin_policy_from_string("suspect"), RejoinPolicy::kSuspect);
+  EXPECT_EQ(rejoin_policy_from_string("cold"), RejoinPolicy::kCold);
+  EXPECT_EQ(to_string(RejoinPolicy::kCold), "cold");
+  EXPECT_THROW(fault_loss_mode_from_string("gaussian"), std::invalid_argument);
+  EXPECT_THROW(rejoin_policy_from_string("warm"), std::invalid_argument);
+}
+
+TEST(FaultConfig, ValidateRejectsNonsense) {
+  FaultConfig ok;
+  ok.validate();  // defaults are valid
+
+  FaultConfig f = ok;
+  f.ir_loss = 1.5;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f = ok;
+  f.bcast_loss = -0.1;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f = ok;
+  f.uplink_drop = 2.0;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f = ok;
+  f.loss_mode = FaultLossMode::kBurst;
+  f.burst_mean_bad_s = 0.0;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f = ok;
+  f.backoff_mult = 0.5;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f = ok;
+  f.backoff_cap_s = 0.0;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f = ok;
+  f.churn_rate = -1.0;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  f = ok;
+  f.churn_rate = 0.01;
+  f.churn_mean_down_s = 0.0;
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- injector --
+
+#if WDC_FAULTS_ENABLED
+
+FaultInjector make(Simulator& sim, const FaultConfig& cfg,
+                   std::uint32_t clients = 4, std::uint64_t seed = 99) {
+  return FaultInjector(sim, cfg, clients, Rng(seed));
+}
+
+TEST(FaultInjector, DisabledIsInert) {
+  Simulator sim;
+  FaultConfig cfg;  // enabled = false, but knobs armed
+  cfg.ir_loss = 1.0;
+  cfg.bcast_loss = 1.0;
+  cfg.uplink_drop = 1.0;
+  cfg.churn_rate = 1.0;
+  FaultInjector fi = make(sim, cfg);
+  fi.start();
+  EXPECT_FALSE(fi.enabled());
+  for (ClientId c = 0; c < 4; ++c) {
+    EXPECT_TRUE(fi.connected(c));
+    EXPECT_FALSE(fi.drop_downlink(c, MsgKind::kInvalidationReport, 1.0));
+    EXPECT_FALSE(fi.drop_uplink(c));
+  }
+  EXPECT_EQ(fi.retry_timeout(15.0, 0), 15.0);
+  EXPECT_EQ(fi.retry_timeout(15.0, 7), 15.0);
+  sim.run_until(1000.0);  // start() scheduled nothing
+  EXPECT_EQ(sim.events_executed(), 0u);
+  const FaultStats s = fi.stats();
+  EXPECT_EQ(s.ir_drops + s.bcast_drops + s.uplink_drops + s.churn_events, 0u);
+}
+
+TEST(FaultInjector, BackoffGrowsGeometricallyAndCaps) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.backoff_mult = 2.0;
+  cfg.backoff_cap_s = 120.0;
+  FaultInjector fi = make(sim, cfg);
+  EXPECT_DOUBLE_EQ(fi.retry_timeout(15.0, 0), 15.0);
+  EXPECT_DOUBLE_EQ(fi.retry_timeout(15.0, 1), 30.0);
+  EXPECT_DOUBLE_EQ(fi.retry_timeout(15.0, 2), 60.0);
+  EXPECT_DOUBLE_EQ(fi.retry_timeout(15.0, 3), 120.0);   // hits the cap
+  EXPECT_DOUBLE_EQ(fi.retry_timeout(15.0, 30), 120.0);  // stays there
+}
+
+TEST(FaultInjector, KindSelectsLossProbability) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.ir_loss = 1.0;   // reports always erased
+  cfg.bcast_loss = 0.0;  // everything else untouched
+  FaultInjector fi = make(sim, cfg);
+  EXPECT_TRUE(fi.drop_downlink(0, MsgKind::kInvalidationReport, 1.0));
+  EXPECT_TRUE(fi.drop_downlink(0, MsgKind::kMiniReport, 2.0));
+  EXPECT_FALSE(fi.drop_downlink(0, MsgKind::kItemData, 3.0));
+  EXPECT_FALSE(fi.drop_downlink(0, MsgKind::kDownlinkData, 4.0));
+  EXPECT_FALSE(fi.drop_downlink(0, MsgKind::kControl, 5.0));
+  const FaultStats s = fi.stats();
+  EXPECT_EQ(s.ir_drops, 2u);
+  EXPECT_EQ(s.bcast_drops, 0u);
+}
+
+TEST(FaultInjector, BernoulliLossMatchesRate) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.ir_loss = 0.3;
+  FaultInjector fi = make(sim, cfg);
+  const int n = 20000;
+  int drops = 0;
+  for (int i = 0; i < n; ++i)
+    if (fi.drop_downlink(1, MsgKind::kInvalidationReport, i * 0.01)) ++drops;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.3, 0.02);
+  EXPECT_EQ(fi.stats().ir_drops, static_cast<std::uint64_t>(drops));
+}
+
+TEST(FaultInjector, BurstLossGatedByBadState) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.loss_mode = FaultLossMode::kBurst;
+  cfg.ir_loss = 1.0;  // erase every reception seen while Bad
+  cfg.burst_mean_good_s = 1.0;
+  cfg.burst_mean_bad_s = 1.0;
+  FaultInjector fi = make(sim, cfg);
+  const int n = 8000;
+  int drops = 0;
+  for (int i = 0; i < n; ++i)
+    if (fi.drop_downlink(2, MsgKind::kInvalidationReport, i * 0.05)) ++drops;
+  // Equal sojourn means => Bad about half the time; far from both 0 and n.
+  const double frac = static_cast<double>(drops) / n;
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+}
+
+TEST(FaultInjector, UplinkDropMatchesRate) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.uplink_drop = 0.25;
+  FaultInjector fi = make(sim, cfg);
+  const int n = 20000;
+  int drops = 0;
+  for (int i = 0; i < n; ++i)
+    if (fi.drop_uplink(0)) ++drops;
+  EXPECT_NEAR(static_cast<double>(drops) / n, 0.25, 0.02);
+  EXPECT_EQ(fi.stats().uplink_drops, static_cast<std::uint64_t>(drops));
+}
+
+TEST(FaultInjector, ChurnTogglesConnectivityAndFiresHandler) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.churn_rate = 0.02;  // mean 50 s up
+  cfg.churn_mean_down_s = 10.0;
+  FaultInjector fi = make(sim, cfg, /*clients=*/3);
+  std::vector<std::vector<bool>> edges(3);
+  fi.set_churn_handler([&](ClientId c, bool connected) {
+    ASSERT_LT(c, 3u);
+    edges[c].push_back(connected);
+    EXPECT_EQ(fi.connected(c), connected);
+  });
+  fi.start();
+  sim.run_until(5000.0);
+  const FaultStats s = fi.stats();
+  EXPECT_GT(s.churn_events, 0u);
+  EXPECT_LE(s.rejoins, s.churn_events);
+  EXPECT_LE(s.churn_events, s.rejoins + 3);  // at most one open window each
+  for (const auto& e : edges) {
+    // Edges strictly alternate, starting with a disconnect.
+    for (std::size_t i = 0; i < e.size(); ++i) EXPECT_EQ(e[i], i % 2 == 1);
+  }
+}
+
+TEST(FaultInjector, DisconnectedClientAlwaysLosesUplink) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  cfg.uplink_drop = 0.0;   // only disconnection can eat requests
+  cfg.churn_rate = 0.05;
+  cfg.churn_mean_down_s = 20.0;
+  FaultInjector fi = make(sim, cfg, /*clients=*/2);
+  fi.set_churn_handler([&](ClientId c, bool connected) {
+    if (!connected) {
+      EXPECT_TRUE(fi.drop_uplink(c));
+    }
+  });
+  fi.start();
+  sim.run_until(2000.0);
+  ASSERT_GT(fi.stats().churn_events, 0u);
+  EXPECT_GT(fi.stats().uplink_drops, 0u);
+}
+
+TEST(FaultInjector, RecordRecoveryAccumulates) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;
+  FaultInjector fi = make(sim, cfg);
+  fi.record_recovery(0, 2.5, 10);
+  fi.record_recovery(1, 1.5, 0);
+  const FaultStats s = fi.stats();
+  EXPECT_EQ(s.recoveries, 2u);
+  EXPECT_DOUBLE_EQ(s.recovery_time_s, 4.0);
+  EXPECT_EQ(s.stale_exposure, 10u);
+}
+
+#else  // !WDC_FAULTS_ENABLED
+
+TEST(FaultInjector, StubIsInert) {
+  Simulator sim;
+  FaultConfig cfg;
+  cfg.enabled = true;  // ignored by the stripped build
+  FaultInjector fi(sim, cfg, 4, Rng(1));
+  fi.start();
+  EXPECT_FALSE(fi.enabled());
+  EXPECT_TRUE(fi.connected(0));
+  EXPECT_FALSE(fi.drop_downlink(0, MsgKind::kInvalidationReport, 1.0));
+  EXPECT_FALSE(fi.drop_uplink(0));
+  EXPECT_EQ(fi.retry_timeout(15.0, 5), 15.0);
+}
+
+#endif  // WDC_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace wdc

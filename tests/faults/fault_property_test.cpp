@@ -1,0 +1,161 @@
+/// Randomized property tier (ctest label `faults`): every protocol runs under
+/// seeded random fault schedules and must uphold the simulator's invariants —
+/// above all, NO stale read is ever served to a query (the consistency
+/// guarantee the invalidation algorithms exist to provide), no matter what
+/// combination of reception loss, uplink drops, and churn is injected.
+///
+/// Default: a small seed matrix so plain ctest stays fast. Set
+/// WDC_FAULTS_SOAK=<n> to widen it to n rounds per protocol (the nightly-style
+/// CI soak step does).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "engine/digest.hpp"
+#include "engine/simulation.hpp"
+#include "faults/fault_injector.hpp"
+#include "golden_table.hpp"
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+#if WDC_FAULTS_ENABLED
+
+unsigned soak_rounds() {
+  if (const char* env = std::getenv("WDC_FAULTS_SOAK")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  return 2;
+}
+
+/// A random-but-valid fault schedule drawn from `rng`.
+FaultConfig random_fault_config(Rng& rng) {
+  FaultConfig f;
+  f.enabled = true;
+  f.loss_mode =
+      rng.bernoulli(0.5) ? FaultLossMode::kBernoulli : FaultLossMode::kBurst;
+  f.ir_loss = rng.uniform(0.0, 0.6);
+  f.bcast_loss = rng.uniform(0.0, 0.3);
+  f.burst_mean_good_s = rng.uniform(10.0, 60.0);
+  f.burst_mean_bad_s = rng.uniform(1.0, 8.0);
+  f.uplink_drop = rng.uniform(0.0, 0.5);
+  f.backoff_mult = rng.uniform(1.0, 3.0);
+  f.backoff_cap_s = rng.uniform(30.0, 120.0);
+  f.churn_rate = rng.uniform(0.0, 1.0 / 200.0);
+  f.churn_mean_down_s = rng.uniform(5.0, 60.0);
+  f.rejoin = rng.bernoulli(0.5) ? RejoinPolicy::kSuspect : RejoinPolicy::kCold;
+  f.validate();
+  return f;
+}
+
+Scenario faulted_scenario(ProtocolKind p, std::uint64_t seed, Rng& rng) {
+  Scenario s = golden_scenario(p);
+  s.seed = seed;
+  s.faults = random_fault_config(rng);
+  return s;
+}
+
+void check_invariants(const Scenario& s, const Metrics& m,
+                      const std::string& label) {
+  SCOPED_TRACE(label);
+  // THE invariant: injected faults may slow queries down arbitrarily, but must
+  // never cause a consistency violation. CBL is exempt from the oracle by
+  // design (leases bound, rather than eliminate, staleness under loss).
+  if (s.protocol != ProtocolKind::kCbl) {
+    EXPECT_EQ(m.stale_serves, 0u);
+  }
+
+  // Accounting closes.
+  EXPECT_EQ(m.hits + m.misses, m.answered);
+  EXPECT_LE(m.answered + m.dropped_queries, m.queries);
+
+  // Rates are rates.
+  for (const double r : {m.hit_ratio, m.report_loss_rate, m.mac_busy_frac,
+                         m.radio_on_frac}) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+
+  // Churn lifecycle ordering: a recovery needs a rejoin, a rejoin a
+  // disconnect.
+  EXPECT_LE(m.recoveries, m.churn_rejoins);
+  EXPECT_LE(m.churn_rejoins, m.churn_events);
+  if (s.faults.churn_rate == 0.0) {
+    EXPECT_EQ(m.churn_events, 0u);
+  }
+  EXPECT_GE(m.mean_recovery_s, 0.0);
+  EXPECT_TRUE(std::isfinite(m.mean_recovery_s));
+  if (m.recoveries == 0) {
+    EXPECT_EQ(m.mean_recovery_s, 0.0);
+  }
+
+  // Injected loss shows up in its own ledger, never as negative activity.
+  if (s.faults.ir_loss == 0.0 &&
+      s.faults.loss_mode == FaultLossMode::kBernoulli) {
+    EXPECT_EQ(m.fault_ir_drops, 0u);
+  }
+  if (s.faults.uplink_drop == 0.0 && s.faults.churn_rate == 0.0) {
+    EXPECT_EQ(m.fault_uplink_drops, 0u);
+  }
+}
+
+class FaultProperty : public ::testing::TestWithParam<GoldenEntry> {};
+
+TEST_P(FaultProperty, InvariantsHoldUnderRandomFaultSchedules) {
+  const ProtocolKind p = GetParam().protocol;
+  const unsigned rounds = soak_rounds();
+  Rng schedule_rng(0xfa017u + static_cast<std::uint64_t>(p) * 7919u);
+  for (unsigned round = 0; round < rounds; ++round) {
+    const Scenario s = faulted_scenario(p, 1000 + round, schedule_rng);
+    const Metrics m = run_scenario(s);
+    check_invariants(
+        s, m, std::string(to_string(p)) + " round " + std::to_string(round));
+  }
+}
+
+TEST(FaultProperty, FaultedRunsAreDeterministic) {
+  Rng schedule_rng(0xd473);
+  const Scenario s =
+      faulted_scenario(ProtocolKind::kTs, /*seed=*/77, schedule_rng);
+  const Metrics a = run_scenario(s);
+  const Metrics b = run_scenario(s);
+  EXPECT_EQ(metrics_digest(a), metrics_digest(b))
+      << "same scenario + same fault schedule must be bit-identical";
+  EXPECT_EQ(a.fault_ir_drops, b.fault_ir_drops);
+  EXPECT_EQ(a.churn_events, b.churn_events);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+}
+
+TEST(FaultProperty, DecompositionStillTelescopesUnderFaults) {
+  Rng schedule_rng(0x7e1e);
+  Scenario s = faulted_scenario(ProtocolKind::kTs, /*seed=*/5, schedule_rng);
+  s.trace.enabled = true;
+  s.trace.ring_capacity = 1 << 16;
+  const Metrics m = run_scenario(s);
+  if (m.trace_events == 0) GTEST_SKIP() << "tracing compiled out";
+  // The four components are accumulated as floats; allow rounding headroom.
+  EXPECT_NEAR(m.ir_wait_s + m.uplink_s + m.bcast_wait_s + m.airtime_s,
+              m.mean_latency_s, 1e-3 + 1e-3 * m.mean_latency_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAndBaselines, FaultProperty, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenEntry>& tpi) {
+      return to_string(tpi.param.protocol);
+    });
+
+#else  // !WDC_FAULTS_ENABLED
+
+TEST(FaultProperty, SkippedWhenFaultLayerCompiledOut) {
+  GTEST_SKIP() << "built with -DWDC_FAULTS=OFF";
+}
+
+#endif  // WDC_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace wdc

@@ -67,12 +67,12 @@ TEST(SweepOptionsTest, FromConfigBaseOverloadLayersOnTop) {
   EXPECT_EQ(sc.seed, 20040426u);                     // inherited from base
 }
 
-TEST(SweepRegistryTest, AllThirteenSweepsRegistered) {
+TEST(SweepRegistryTest, AllFourteenSweepsRegistered) {
   const auto& specs = sweeps::all();
-  ASSERT_EQ(specs.size(), 13u);
+  ASSERT_EQ(specs.size(), 14u);
   const std::vector<std::string> expected = {
-      "fig1", "fig2", "fig3", "fig4", "fig5",  "fig6", "fig7",
-      "fig8", "fig9", "fig10", "tab1", "tab2", "tab3"};
+      "fig1", "fig2", "fig3",  "fig4", "fig5", "fig6", "fig7",
+      "fig8", "fig9", "fig10", "figf", "tab1", "tab2", "tab3"};
   for (std::size_t i = 0; i < expected.size(); ++i) {
     EXPECT_EQ(specs[i].key, expected[i]);
     EXPECT_FALSE(specs[i].title.empty());

@@ -122,6 +122,14 @@ void print_timeline(const TraceFile& tf, const std::string& which) {
         detail = strfmt(" mcs %.0f -> %.0f", static_cast<double>(ev.b),
                         static_cast<double>(ev.a));
         break;
+      case TraceEventKind::kFaultDownlinkDrop:
+        // Numeric message class (MsgKind); the tool links only wdc_trace.
+        detail = strfmt(" msg-kind=%.0f", static_cast<double>(ev.a));
+        break;
+      case TraceEventKind::kRecovery:
+        detail = strfmt(" after %.3fs, exposed=%.0f", static_cast<double>(ev.a),
+                        static_cast<double>(ev.b));
+        break;
       default:
         break;
     }
