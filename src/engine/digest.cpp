@@ -64,16 +64,25 @@ std::uint64_t metrics_digest(const Metrics& m) {
   d.mix(m.lair_deferred);
   d.mix(m.lair_mean_deferral_s);
   d.mix(m.hyb_mean_m);
-  // m.kernel is deliberately NOT mixed: perf counters describe how the kernel
-  // did the work, not what the model computed, and must not perturb digests
-  // between instrumented (-DWDC_PERF_COUNTERS=ON) and stripped builds.
-  // The trace-derived fields (ir_wait_s, uplink_s, bcast_wait_s, airtime_s,
-  // trace_events, trace_dropped) are excluded for the same reason: digests must
+  // Deliberately NOT mixed — the machine-readable exclusion list below is
+  // cross-checked against struct Metrics by `wdc_lint --check digest-purity`:
+  // a new Metrics field must be mixed above or added here, never silently
+  // neither (and never both).
+  //
+  // m.kernel: perf counters describe how the kernel did the work, not what
+  // the model computed, and must not perturb digests between instrumented
+  // (-DWDC_PERF_COUNTERS=ON) and stripped builds.
+  //   wdc-lint: digest-exclude(kernel)
+  // The trace-derived fields are excluded for the same reason: digests must
   // be bit-identical between -DWDC_TRACE=ON and OFF builds, traced or not.
-  // The fault-layer fields (fault_ir_drops, fault_bcast_drops,
-  // fault_uplink_drops, churn_events, churn_rejoins, recoveries,
-  // mean_recovery_s, stale_exposure) are likewise excluded: a disabled
-  // injector must digest identically to a -DWDC_FAULTS=OFF build.
+  //   wdc-lint: digest-exclude(ir_wait_s, uplink_s, bcast_wait_s, airtime_s)
+  //   wdc-lint: digest-exclude(trace_events, trace_dropped)
+  // The fault-layer fields are likewise excluded: a disabled injector must
+  // digest identically to a -DWDC_FAULTS=OFF build.
+  //   wdc-lint: digest-exclude(fault_ir_drops, fault_bcast_drops)
+  //   wdc-lint: digest-exclude(fault_uplink_drops, churn_events)
+  //   wdc-lint: digest-exclude(churn_rejoins, recoveries, mean_recovery_s)
+  //   wdc-lint: digest-exclude(stale_exposure)
   return d.value();
 }
 

@@ -1,0 +1,22 @@
+// Lint fixture: digest half of the digest-purity pair (see metrics.hpp).
+#include "metrics.hpp"
+
+namespace wdc::lintfix {
+
+struct Digest {
+  void mix(std::uint64_t v) { h += v; }
+  void mix(double v) { h += static_cast<std::uint64_t>(v); }
+  std::uint64_t value() const { return h; }
+  std::uint64_t h = 0;
+};
+
+std::uint64_t metrics_digest(const Metrics& m) {
+  Digest d;
+  d.mix(m.seed);
+  d.mix(m.mean_latency_s);
+  // Instrumentation only, deliberately excluded:
+  //   wdc-lint: digest-exclude(debug_probe_s)
+  return d.value();
+}
+
+}  // namespace wdc::lintfix

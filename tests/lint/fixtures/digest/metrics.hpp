@@ -1,0 +1,20 @@
+// Lint fixture: a miniature Metrics with one field that is neither mixed nor
+// excluded in the paired digest.cpp. Expected: exactly one `digest-purity`
+// finding naming `stray_counter`.
+#ifndef WDC_TESTS_LINT_FIXTURES_DIGEST_METRICS_HPP
+#define WDC_TESTS_LINT_FIXTURES_DIGEST_METRICS_HPP
+
+#include <cstdint>
+
+namespace wdc::lintfix {
+
+struct Metrics {
+  std::uint64_t seed = 0;
+  double mean_latency_s = 0.0;
+  std::uint64_t stray_counter = 0;  // the finding: in neither list
+  double debug_probe_s = 0.0;       // excluded in digest.cpp
+};
+
+}  // namespace wdc::lintfix
+
+#endif  // WDC_TESTS_LINT_FIXTURES_DIGEST_METRICS_HPP

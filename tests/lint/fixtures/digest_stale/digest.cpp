@@ -1,0 +1,20 @@
+// Lint fixture: the exclusion list survived a field rename. Expected: exactly
+// one `digest-purity` finding ("digest-exclude lists 'renamed_away'...").
+#include "metrics.hpp"
+
+namespace wdc::lintfix {
+
+struct Digest {
+  void mix(std::uint64_t v) { h += v; }
+  std::uint64_t value() const { return h; }
+  std::uint64_t h = 0;
+};
+
+std::uint64_t metrics_digest(const Metrics& m) {
+  Digest d;
+  d.mix(m.seed);
+  //   wdc-lint: digest-exclude(renamed_away)
+  return d.value();
+}
+
+}  // namespace wdc::lintfix

@@ -1,0 +1,16 @@
+// Lint fixture: pair for the stale-exclusion case — every field is covered,
+// but digest.cpp's exclude list names a field that no longer exists.
+#ifndef WDC_TESTS_LINT_FIXTURES_DIGEST_STALE_METRICS_HPP
+#define WDC_TESTS_LINT_FIXTURES_DIGEST_STALE_METRICS_HPP
+
+#include <cstdint>
+
+namespace wdc::lintfix {
+
+struct Metrics {
+  std::uint64_t seed = 0;
+};
+
+}  // namespace wdc::lintfix
+
+#endif  // WDC_TESTS_LINT_FIXTURES_DIGEST_STALE_METRICS_HPP

@@ -1,0 +1,29 @@
+// Lint fixture: known-bad — a std::string copied by value into an event
+// action's capture list. Expected: exactly one `inline-capture` finding.
+#include <string>
+
+namespace wdc::lintfix {
+
+class Sim {
+ public:
+  template <typename F>
+  void schedule_in(double delay, F&& action) {
+    last_delay_ = delay;
+    action();
+  }
+
+ private:
+  double last_delay_ = 0.0;
+};
+
+class Component {
+ public:
+  void arm(Sim& sim) {
+    std::string label = "tag";
+    sim.schedule_in(1.0, [label] { consume(label); });
+  }
+
+  static void consume(const std::string& s) { (void)s; }
+};
+
+}  // namespace wdc::lintfix

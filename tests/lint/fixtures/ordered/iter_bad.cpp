@@ -1,0 +1,37 @@
+// Lint fixture: known-bad — range-for over an unordered map inside a function
+// that feeds a CSV sink. Expected: exactly one `ordered-iteration` finding.
+#include <cstdint>
+#include <unordered_map>
+
+namespace wdc::lintfix {
+
+struct Row {
+  std::uint64_t key = 0;
+  double value = 0.0;
+};
+
+class CsvSink {
+ public:
+  void write_csv(const Row& row) { last_ = row.value; }
+
+ private:
+  double last_ = 0.0;
+};
+
+class Exporter {
+ public:
+  void flush() {
+    for (const auto& [key, value] : cells_) {
+      Row row;
+      row.key = key;
+      row.value = value;
+      sink_.write_csv(row);
+    }
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> cells_;
+  CsvSink sink_;
+};
+
+}  // namespace wdc::lintfix

@@ -1,0 +1,11 @@
+// Lint fixture: known-bad — address-as-value (an ASLR-dependent pointer cast
+// to an integer). Expected: exactly one `determinism` finding.
+#include <cstdint>
+
+namespace wdc::lintfix {
+
+std::uintptr_t key_of(const int* p) {
+  return reinterpret_cast<std::uintptr_t>(p);
+}
+
+}  // namespace wdc::lintfix

@@ -1,0 +1,9 @@
+// Lint fixture: known-bad — C library rand() bypassing the seeded Rng
+// streams. Expected: exactly one `determinism` finding.
+#include <cstdlib>
+
+namespace wdc::lintfix {
+
+int ambient_draw() { return std::rand(); }
+
+}  // namespace wdc::lintfix

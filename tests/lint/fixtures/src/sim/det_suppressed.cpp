@@ -1,0 +1,15 @@
+// Lint fixture: the det_wall_clock violation with an explicit suppression —
+// `// wdc-lint: allow(determinism)` on the line above silences it.
+// Expected: zero findings.
+#include <chrono>
+
+namespace wdc::lintfix {
+
+double wall_seed_for_logging() {
+  // Justified: this fixture pretends to be log-timestamp code.
+  // wdc-lint: allow(determinism)
+  const auto now = std::chrono::system_clock::now();
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+}  // namespace wdc::lintfix

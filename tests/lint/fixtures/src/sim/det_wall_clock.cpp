@@ -1,0 +1,12 @@
+// Lint fixture: known-bad — wall-clock source inside a simulation directory.
+// Expected: exactly one `determinism` finding (system_clock).
+#include <chrono>
+
+namespace wdc::lintfix {
+
+double wall_seed() {
+  const auto now = std::chrono::system_clock::now();
+  return static_cast<double>(now.time_since_epoch().count());
+}
+
+}  // namespace wdc::lintfix

@@ -1,0 +1,35 @@
+// Lint fixture: every two-gate idiom the tree uses — same-statement guard,
+// braceless if, braced block, and `enabled() && hook()` in one expression.
+// Expected: zero findings.
+namespace wdc::lintfix {
+
+class Recorder {
+ public:
+  bool enabled() const { return armed_; }
+  void emit(int kind, double t) { last_ = t + kind; }
+  bool drop_downlink(int c) { return armed_ && c > 0; }
+
+ private:
+  bool armed_ = false;
+  double last_ = 0.0;
+};
+
+class Component {
+ public:
+  void on_event(double t) {
+    if (rec_.enabled()) rec_.emit(1, t);
+    if (rec_.enabled())
+      rec_.emit(2, t);
+    if (rec_.enabled()) {
+      rec_.emit(3, t);
+    }
+    const bool dropped = rec_.enabled() && rec_.drop_downlink(7);
+    if (dropped) last_ = t;
+  }
+
+ private:
+  Recorder rec_;
+  double last_ = 0.0;
+};
+
+}  // namespace wdc::lintfix

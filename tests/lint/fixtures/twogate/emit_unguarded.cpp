@@ -1,0 +1,25 @@
+// Lint fixture: known-bad — a trace emit site without its runtime gate.
+// Expected: exactly one `two-gate` finding.
+namespace wdc::lintfix {
+
+class Recorder {
+ public:
+  bool enabled() const { return armed_; }
+  void emit(int kind, double t) { last_ = t + kind; }
+
+ private:
+  bool armed_ = false;
+  double last_ = 0.0;
+};
+
+class Component {
+ public:
+  void on_event(double t) {
+    rec_.emit(1, t);  // compile-time gate only: the finding
+  }
+
+ private:
+  Recorder rec_;
+};
+
+}  // namespace wdc::lintfix

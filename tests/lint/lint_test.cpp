@@ -1,0 +1,153 @@
+// Fixture tests for wdc_lint (ctest label `lint`).
+//
+// Each check is exercised in-process against a tiny known-bad source under
+// tests/lint/fixtures/, asserting it fires exactly once at the expected line,
+// and that `// wdc-lint: allow(<check>)` silences it.  The tree-wide run over
+// the real sources is a separate ctest (`lint_tree`) registered in
+// tests/CMakeLists.txt.
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+using wdc::lint::Check;
+using wdc::lint::Finding;
+using wdc::lint::Options;
+using wdc::lint::SourceFile;
+
+std::string fixture_path(const std::string& rel) {
+  return std::string(WDC_LINT_FIXTURE_DIR) + "/" + rel;
+}
+
+std::vector<SourceFile> load(std::initializer_list<const char*> rels) {
+  std::vector<SourceFile> files;
+  for (const char* rel : rels) {
+    const std::string path = fixture_path(rel);
+    auto text = wdc::lint::read_file(path);
+    EXPECT_TRUE(text.has_value()) << "unreadable fixture: " << path;
+    files.push_back({path, text.value_or(std::string())});
+  }
+  return files;
+}
+
+std::vector<Finding> run_check(Check check,
+                               std::initializer_list<const char*> rels) {
+  Options opts;
+  opts.checks = {check};
+  return wdc::lint::run_lint(load(rels), opts);
+}
+
+TEST(LintDeterminism, WallClockFiresExactlyOnce) {
+  const auto findings =
+      run_check(Check::kDeterminism, {"src/sim/det_wall_clock.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kDeterminism);
+  EXPECT_EQ(findings[0].line, 8);
+  EXPECT_NE(findings[0].message.find("system_clock"), std::string::npos);
+}
+
+TEST(LintDeterminism, RandFiresExactlyOnce) {
+  const auto findings =
+      run_check(Check::kDeterminism, {"src/sim/det_rand.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kDeterminism);
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("rand"), std::string::npos);
+}
+
+TEST(LintDeterminism, AddressAsValueFiresExactlyOnce) {
+  const auto findings =
+      run_check(Check::kDeterminism, {"src/sim/det_addr.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kDeterminism);
+  EXPECT_EQ(findings[0].line, 8);
+}
+
+TEST(LintDeterminism, AllowCommentSuppresses) {
+  const auto findings =
+      run_check(Check::kDeterminism, {"src/sim/det_suppressed.cpp"});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintDeterminism, OnlyAppliesToSimulationDirectories) {
+  // The same wall-clock text outside src/sim|engine|channel|mac|cache|faults
+  // is allowed (tools/ and bench/ may touch the wall clock).
+  auto files = load({"src/sim/det_wall_clock.cpp"});
+  files[0].path = "/root/repo/tools/det_wall_clock.cpp";
+  Options opts;
+  opts.checks = {Check::kDeterminism};
+  EXPECT_TRUE(wdc::lint::run_lint(files, opts).empty());
+}
+
+TEST(LintDigestPurity, UncoveredFieldFiresExactlyOnce) {
+  const auto findings = run_check(Check::kDigestPurity,
+                                  {"digest/metrics.hpp", "digest/digest.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kDigestPurity);
+  EXPECT_NE(findings[0].message.find("stray_counter"), std::string::npos);
+}
+
+TEST(LintDigestPurity, StaleExclusionFiresExactlyOnce) {
+  const auto findings =
+      run_check(Check::kDigestPurity,
+                {"digest_stale/metrics.hpp", "digest_stale/digest.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kDigestPurity);
+  EXPECT_NE(findings[0].message.find("renamed_away"), std::string::npos);
+}
+
+TEST(LintOrderedIteration, UnorderedRangeForIntoSinkFiresExactlyOnce) {
+  const auto findings =
+      run_check(Check::kOrderedIteration, {"ordered/iter_bad.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kOrderedIteration);
+  EXPECT_EQ(findings[0].line, 24);
+  EXPECT_NE(findings[0].message.find("cells_"), std::string::npos);
+}
+
+TEST(LintTwoGate, UnguardedEmitFiresExactlyOnce) {
+  const auto findings =
+      run_check(Check::kTwoGate, {"twogate/emit_unguarded.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kTwoGate);
+  EXPECT_EQ(findings[0].line, 18);
+}
+
+TEST(LintTwoGate, GuardedIdiomsAreClean) {
+  const auto findings =
+      run_check(Check::kTwoGate, {"twogate/emit_guarded.cpp"});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintInlineCapture, ByValueStringCaptureFiresExactlyOnce) {
+  const auto findings =
+      run_check(Check::kInlineCapture, {"inline/capture_bad.cpp"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].check, Check::kInlineCapture);
+  EXPECT_EQ(findings[0].line, 23);
+  EXPECT_NE(findings[0].message.find("label"), std::string::npos);
+}
+
+TEST(LintRunner, FindingsAreSortedAndPerCheckSelectionWorks) {
+  // All five checks over the whole fixture set: exactly the seven expected
+  // findings (three determinism fixtures, one each for the other four
+  // checks), in (file, line, col, check) order.
+  auto files = load({"src/sim/det_wall_clock.cpp", "src/sim/det_rand.cpp",
+                     "src/sim/det_addr.cpp", "src/sim/det_suppressed.cpp",
+                     "digest/metrics.hpp", "digest/digest.cpp",
+                     "ordered/iter_bad.cpp", "twogate/emit_unguarded.cpp",
+                     "twogate/emit_guarded.cpp", "inline/capture_bad.cpp"});
+  const auto findings = wdc::lint::run_lint(files, Options{});
+  ASSERT_EQ(findings.size(), 7u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_LE(findings[i - 1].file, findings[i].file);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,106 @@
+/// @file lint.cpp
+/// Check registry plus the file-discovery plumbing (compile_commands.json is
+/// the file list's source of truth, as for clang-tidy).
+
+#include "lint/lint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace wdc::lint {
+
+const char* to_string(Check c) {
+  switch (c) {
+    case Check::kDeterminism: return "determinism";
+    case Check::kDigestPurity: return "digest-purity";
+    case Check::kOrderedIteration: return "ordered-iteration";
+    case Check::kTwoGate: return "two-gate";
+    case Check::kInlineCapture: return "inline-capture";
+  }
+  return "?";
+}
+
+std::optional<Check> check_from_string(const std::string& name) {
+  for (const Check c : kAllChecks)
+    if (name == to_string(c)) return c;
+  return std::nullopt;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+namespace {
+
+/// Value of the JSON string starting at the opening quote `begin`.
+/// Handles the escapes CMake emits in paths; good enough for a compdb.
+std::string json_string_at(const std::string& text, std::size_t begin,
+                           std::size_t* end) {
+  std::string out;
+  std::size_t i = begin + 1;
+  while (i < text.size() && text[i] != '"') {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      out.push_back(text[i]);
+    } else {
+      out.push_back(text[i]);
+    }
+    ++i;
+  }
+  *end = i;
+  return out;
+}
+
+}  // namespace
+
+std::optional<std::vector<std::string>> files_from_compdb(
+    const std::string& compdb_path, std::string* error) {
+  const auto text = read_file(compdb_path);
+  if (!text) {
+    if (error != nullptr)
+      *error = "cannot read compile database: " + compdb_path;
+    return std::nullopt;
+  }
+  std::set<std::string> files;
+  std::size_t pos = 0;
+  while ((pos = text->find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    const std::size_t quote = text->find('"', text->find(':', pos));
+    if (quote == std::string::npos) break;
+    std::size_t end = quote;
+    const std::string file = json_string_at(*text, quote, &end);
+    pos = end + 1;
+    if (!file.ends_with(".cpp")) continue;
+    if (file.find("/src/") == std::string::npos &&
+        !file.starts_with("src/"))
+      continue;
+    files.insert(file);
+  }
+  if (files.empty()) {
+    if (error != nullptr)
+      *error = "no src/*.cpp entries in " + compdb_path;
+    return std::nullopt;
+  }
+  // Headers don't appear in a compile database; lint every header sitting
+  // next to a listed source file (that is where the member declarations and
+  // inline emit sites live).
+  std::set<std::filesystem::path> dirs;
+  for (const std::string& f : files)
+    dirs.insert(std::filesystem::path(f).parent_path());
+  for (const auto& dir : dirs) {
+    std::error_code ec;
+    for (const auto& entry : std::filesystem::directory_iterator(dir, ec))
+      if (entry.path().extension() == ".hpp")
+        files.insert(entry.path().string());
+  }
+  return std::vector<std::string>(files.begin(), files.end());
+}
+
+}  // namespace wdc::lint

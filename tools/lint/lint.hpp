@@ -1,0 +1,88 @@
+#ifndef WDC_TOOLS_LINT_LINT_HPP
+#define WDC_TOOLS_LINT_LINT_HPP
+
+/// @file lint.hpp
+/// wdc_lint — project-specific static analysis for the determinism and
+/// digest-purity contracts this reproduction rests on.
+///
+/// Five checks, each suppressible at a finding site with
+/// `// wdc-lint: allow(<check>)` on the same line or the line above:
+///
+///  * determinism       — wall-clock / ambient-randomness / address-as-value
+///                        sources banned from the simulation directories
+///                        (src/sim, src/engine, src/channel, src/mac,
+///                        src/cache, src/faults); only tools/ and bench/ may
+///                        touch the wall clock.
+///  * digest-purity     — every Metrics field appears in exactly one of
+///                        metrics_digest() or the machine-readable exclusion
+///                        list (`// wdc-lint: digest-exclude(...)`) in
+///                        src/engine/digest.cpp.
+///  * ordered-iteration — range-for over std::unordered_map/set in functions
+///                        that (directly, or one call level removed) feed the
+///                        digest, CSV, or trace sinks.
+///  * two-gate          — compile-time-gated emit/hook sites (trace recorder,
+///                        fault injector) must also test their runtime gate
+///                        (`enabled()`), the pattern PR 4/5 established.
+///  * inline-capture    — lambdas handed to the event kernel's
+///                        InlineFunction<void(),48> actions must not copy
+///                        containers/std::string into their captures.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wdc::lint {
+
+enum class Check {
+  kDeterminism,
+  kDigestPurity,
+  kOrderedIteration,
+  kTwoGate,
+  kInlineCapture,
+};
+
+inline constexpr Check kAllChecks[] = {
+    Check::kDeterminism, Check::kDigestPurity, Check::kOrderedIteration,
+    Check::kTwoGate, Check::kInlineCapture};
+
+const char* to_string(Check c);
+std::optional<Check> check_from_string(const std::string& name);
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  Check check = Check::kDeterminism;
+  std::string message;
+};
+
+struct SourceFile {
+  std::string path;
+  std::string text;
+};
+
+struct Options {
+  /// Checks to run; empty means all five.
+  std::vector<Check> checks;
+};
+
+/// Run the selected checks over `files` (every file is analysed; cross-file
+/// facts — the sink-feeder set, the Metrics/digest pair — are built from
+/// the
+/// whole set). Suppressed findings are dropped. Deterministic: findings are
+/// ordered by (file, line, col, check).
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
+                              const Options& opts);
+
+/// Source-file list from a compile_commands.json: the `file` entries filtered
+/// to *.cpp under a src/ directory, plus every *.hpp sibling of those files.
+/// Returns std::nullopt (with `error` set) when the database can't be read.
+std::optional<std::vector<std::string>> files_from_compdb(
+    const std::string& compdb_path, std::string* error);
+
+/// Whole-file read; std::nullopt when unreadable.
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace wdc::lint
+
+#endif  // WDC_TOOLS_LINT_LINT_HPP

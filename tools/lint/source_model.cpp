@@ -1,0 +1,352 @@
+#include "lint/source_model.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace wdc::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Last non-whitespace offset before `pos`, or npos.
+std::size_t prev_nonspace(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(s[pos])) == 0) return pos;
+  }
+  return std::string::npos;
+}
+
+/// Identifier ending at offset `end` (inclusive), or empty.
+std::string ident_ending_at(const std::string& s, std::size_t end) {
+  if (end == std::string::npos || !ident_char(s[end])) return {};
+  std::size_t begin = end;
+  while (begin > 0 && ident_char(s[begin - 1])) --begin;
+  return s.substr(begin, end - begin + 1);
+}
+
+/// Offset of the `(` matching the `)` at `close`, or npos.
+std::size_t match_paren_back(const std::string& s, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i > 0;) {
+    --i;
+    if (s[i] == ')') ++depth;
+    if (s[i] == '(') {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return std::string::npos;
+}
+
+bool is_control_keyword(const std::string& kw) {
+  return kw == "if" || kw == "while" || kw == "for" || kw == "switch" ||
+         kw == "catch" || kw == "return" || kw == "sizeof" ||
+         kw == "alignof" || kw == "decltype" || kw == "noexcept";
+}
+
+}  // namespace
+
+bool contains_word(const std::string& text, const std::string& ident) {
+  std::size_t pos = 0;
+  while ((pos = text.find(ident, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + ident.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+SourceModel::SourceModel(std::string path, const std::string& raw)
+    : path_(std::move(path)) {
+  scrub(raw);
+  index_lines();
+  parse_suppressions();
+  parse_structure();
+}
+
+void SourceModel::scrub(const std::string& raw) {
+  code_.assign(raw.size(), ' ');
+  int line = 1;
+  std::size_t i = 0;
+  const auto copy = [&](std::size_t at) { code_[at] = raw[at]; };
+  std::string comment;
+  int comment_line = 0;
+  const auto flush_comment = [&] {
+    if (comment_line != 0) comments_.push_back({comment_line, comment});
+    comment.clear();
+    comment_line = 0;
+  };
+  while (i < raw.size()) {
+    const char c = raw[i];
+    if (c == '\n') {
+      code_[i] = '\n';
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+      comment_line = line;
+      i += 2;
+      while (i < raw.size() && raw[i] != '\n') comment.push_back(raw[i++]);
+      flush_comment();
+      continue;
+    }
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+      comment_line = line;
+      i += 2;
+      while (i + 1 < raw.size() && !(raw[i] == '*' && raw[i + 1] == '/')) {
+        if (raw[i] == '\n') {
+          code_[i] = '\n';
+          ++line;
+          flush_comment();
+          comment_line = line;
+        } else {
+          comment.push_back(raw[i]);
+        }
+        ++i;
+      }
+      flush_comment();
+      i = std::min(raw.size(), i + 2);
+      continue;
+    }
+    if (c == 'R' && i + 1 < raw.size() && raw[i + 1] == '"') {
+      // Raw string literal: R"delim( ... )delim"
+      std::size_t open = raw.find('(', i + 2);
+      if (open != std::string::npos) {
+        const std::string delim = raw.substr(i + 2, open - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        std::size_t end = raw.find(closer, open + 1);
+        if (end == std::string::npos) end = raw.size();
+        for (std::size_t j = i; j < std::min(raw.size(), end + closer.size());
+             ++j)
+          if (raw[j] == '\n') {
+            code_[j] = '\n';
+            ++line;
+          }
+        i = std::min(raw.size(), end + closer.size());
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      copy(i);
+      ++i;
+      while (i < raw.size() && raw[i] != quote) {
+        if (raw[i] == '\\') ++i;
+        if (i < raw.size() && raw[i] == '\n') {
+          code_[i] = '\n';
+          ++line;
+        }
+        ++i;
+      }
+      if (i < raw.size()) {
+        copy(i);
+        ++i;
+      }
+      continue;
+    }
+    copy(i);
+    ++i;
+  }
+}
+
+void SourceModel::index_lines() {
+  line_starts_.push_back(0);
+  for (std::size_t i = 0; i < code_.size(); ++i)
+    if (code_[i] == '\n') line_starts_.push_back(i + 1);
+}
+
+int SourceModel::line_of(std::size_t pos) const {
+  const auto it =
+      std::upper_bound(line_starts_.begin(), line_starts_.end(), pos);
+  return static_cast<int>(it - line_starts_.begin());
+}
+
+int SourceModel::col_of(std::size_t pos) const {
+  const int line = line_of(pos);
+  const std::size_t start = line_starts_[static_cast<std::size_t>(line - 1)];
+  return static_cast<int>(pos - start) + 1;
+}
+
+void SourceModel::parse_suppressions() {
+  for (const Comment& c : comments_) {
+    std::size_t pos = 0;
+    while ((pos = c.text.find("wdc-lint:", pos)) != std::string::npos) {
+      std::size_t allow = c.text.find("allow(", pos);
+      if (allow == std::string::npos) break;
+      allow += 6;
+      const std::size_t close = c.text.find(')', allow);
+      if (close == std::string::npos) break;
+      std::string names = c.text.substr(allow, close - allow);
+      std::size_t begin = 0;
+      while (begin < names.size()) {
+        std::size_t end = names.find_first_of(", ", begin);
+        if (end == std::string::npos) end = names.size();
+        if (end > begin)
+          allows_.emplace_back(c.line, names.substr(begin, end - begin));
+        begin = end + 1;
+      }
+      pos = close;
+    }
+  }
+}
+
+bool SourceModel::suppressed(int line, const std::string& check) const {
+  for (const auto& [l, name] : allows_)
+    if ((l == line || l == line - 1) && (name == check || name == "all"))
+      return true;
+  return false;
+}
+
+void SourceModel::parse_structure() {
+  // Blocks: one pass with an open-brace stack; classify each block by what
+  // precedes its `{`.
+  std::vector<int> stack;
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    const char c = code_[i];
+    if (c == '{') {
+      Block b;
+      b.open = i;
+      b.close = code_.size();
+      b.parent = stack.empty() ? -1 : stack.back();
+      const std::size_t prev = prev_nonspace(code_, i);
+      if (prev != std::string::npos && code_[prev] == ')') {
+        classify_paren_block(b, prev);
+      }
+      stack.push_back(static_cast<int>(blocks_.size()));
+      blocks_.push_back(std::move(b));
+    } else if (c == '}') {
+      if (!stack.empty()) {
+        blocks_[static_cast<std::size_t>(stack.back())].close = i;
+        stack.pop_back();
+      }
+    } else if (ident_char(c) && (i == 0 || !ident_char(code_[i - 1]))) {
+      std::size_t end = i;
+      while (end + 1 < code_.size() && ident_char(code_[end + 1])) ++end;
+      const std::string word = code_.substr(i, end - i + 1);
+      std::size_t after = end + 1;
+      while (after < code_.size() &&
+             std::isspace(static_cast<unsigned char>(code_[after])) != 0)
+        ++after;
+      if (after < code_.size() && code_[after] == '(' &&
+          std::isdigit(static_cast<unsigned char>(word[0])) == 0) {
+        if (word == "for") {
+          parse_range_for(i, after);
+        } else if (!is_control_keyword(word)) {
+          CallSite call;
+          call.name = word;
+          call.pos = i;
+          call.line = line_of(i);
+          const std::size_t before = prev_nonspace(code_, i);
+          if (before != std::string::npos) {
+            call.member = code_[before] == '.' ||
+                          (code_[before] == '>' && before > 0 &&
+                           code_[before - 1] == '-');
+            call.qualified = code_[before] == ':';
+          }
+          calls_.push_back(std::move(call));
+        }
+      }
+      i = end;
+    }
+  }
+}
+
+/// Classify a block whose `{` directly follows `) qualifiers`: decide whether
+/// it is a function/lambda body or an `if`/`while`/`for` block, and extract
+/// the guarding condition or the function name.
+void SourceModel::classify_paren_block(Block& b, std::size_t close_paren) {
+  const std::size_t open_paren = match_paren_back(code_, close_paren);
+  if (open_paren == std::string::npos) return;
+  const std::size_t before = prev_nonspace(code_, open_paren);
+  const std::string kw = ident_ending_at(code_, before);
+  if (kw == "if" || kw == "while") {
+    b.condition = code_.substr(open_paren + 1, close_paren - open_paren - 1);
+    return;
+  }
+  if (kw == "for" || kw == "switch" || kw == "catch") return;
+  // `) {` not introduced by a control keyword: treat as a function body.
+  // Walk back from the open paren for the name; `](` and `)(` mean a lambda.
+  b.is_function_body = true;
+  if (!kw.empty() && !is_control_keyword(kw)) b.name = kw;
+}
+
+void SourceModel::parse_range_for(std::size_t for_pos, std::size_t open_paren) {
+  int depth = 0;
+  std::size_t colon = std::string::npos;
+  std::size_t close = std::string::npos;
+  for (std::size_t i = open_paren; i < code_.size(); ++i) {
+    const char c = code_[i];
+    if (c == '(') ++depth;
+    if (c == ')') {
+      --depth;
+      if (depth == 0) {
+        close = i;
+        break;
+      }
+    }
+    if (c == ':' && depth == 1 && colon == std::string::npos) {
+      const bool scope = (i > 0 && code_[i - 1] == ':') ||
+                         (i + 1 < code_.size() && code_[i + 1] == ':');
+      if (!scope) colon = i;
+    }
+  }
+  if (colon == std::string::npos || close == std::string::npos) return;
+  RangeFor rf;
+  rf.head = code_.substr(open_paren + 1, colon - open_paren - 1);
+  rf.expr = code_.substr(colon + 1, close - colon - 1);
+  rf.pos = for_pos;
+  rf.line = line_of(for_pos);
+  range_fors_.push_back(std::move(rf));
+}
+
+int SourceModel::innermost_block(std::size_t pos) const {
+  int best = -1;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    if (b.open < pos && pos < b.close) {
+      if (best < 0 || b.open > blocks_[static_cast<std::size_t>(best)].open)
+        best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+int SourceModel::enclosing_function(int block) const {
+  while (block >= 0 &&
+         !blocks_[static_cast<std::size_t>(block)].is_function_body)
+    block = blocks_[static_cast<std::size_t>(block)].parent;
+  return block;
+}
+
+bool SourceModel::guarded_by(std::size_t pos, const std::string& ident) const {
+  // Same statement: from the last `;`, `{` or `}` up to the call. This covers
+  // `if (x.enabled()) x.emit(...)`, `cond && x.enabled() && x.drop(...)` and
+  // the braceless  `if (x.enabled())\n  x.emit(...);` form.
+  std::size_t start = 0;
+  for (std::size_t i = pos; i > 0;) {
+    --i;
+    const char c = code_[i];
+    if (c == ';' || c == '{' || c == '}') {
+      start = i + 1;
+      break;
+    }
+  }
+  if (contains_word(code_.substr(start, pos - start), ident)) return true;
+  // Enclosing guarded blocks, up to (and stopping at) the function body.
+  for (int b = innermost_block(pos); b >= 0;
+       b = blocks_[static_cast<std::size_t>(b)].parent) {
+    const Block& blk = blocks_[static_cast<std::size_t>(b)];
+    if (contains_word(blk.condition, ident)) return true;
+    if (blk.is_function_body) break;
+  }
+  return false;
+}
+
+}  // namespace wdc::lint

@@ -1,0 +1,117 @@
+#ifndef WDC_TOOLS_LINT_SOURCE_MODEL_HPP
+#define WDC_TOOLS_LINT_SOURCE_MODEL_HPP
+
+/// @file source_model.hpp
+/// The lexer / heuristic-AST layer wdc_lint's checks run over.
+///
+/// Deliberately not a real C++ parser: the checks only need (a) code with
+/// comments and literals blanked out so token scans can't match inside text,
+/// (b) the comment stream (suppressions and the digest exclusion list live in
+/// comments), (c) brace structure with the guarding `if`/`while` condition of
+/// each block, and (d) the function bodies with their call sites and
+/// range-for statements. That is enough to express every project-specific
+/// invariant in checks.cpp without an LLVM dev-header dependency, at the cost
+/// of being heuristic — which is acceptable because every finding is
+/// individually suppressible with `// wdc-lint: allow(<check>)`.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wdc::lint {
+
+/// One comment from the raw source (text without the // or /* */ markers).
+struct Comment {
+  int line = 0;
+  std::string text;
+};
+
+/// One `{ ... }` block and what introduced it.
+struct Block {
+  std::size_t open = 0;   ///< offset of `{` in code()
+  std::size_t close = 0;  ///< offset of matching `}` (or code().size())
+  int parent = -1;        ///< index of enclosing block, -1 for file scope
+  /// Condition text of the `if (...)` / `while (...)` directly before the
+  /// brace, empty when the block is not condition-guarded.
+  std::string condition;
+  /// True when the block looks like a function/lambda body: `) qualifiers {`.
+  bool is_function_body = false;
+  /// Function name (last `::` component) for named function bodies; empty for
+  /// lambdas and non-function blocks.
+  std::string name;
+};
+
+/// A call site `ident(`.
+struct CallSite {
+  std::string name;
+  std::size_t pos = 0;  ///< offset of the identifier in code()
+  int line = 0;
+  bool member = false;  ///< preceded by `.` or `->`
+  bool qualified = false;  ///< preceded by `::` (definition or qualified call)
+};
+
+/// A range-based for: `for (head : expr)`.
+struct RangeFor {
+  std::string head;
+  std::string expr;
+  std::size_t pos = 0;  ///< offset of the `for` keyword
+  int line = 0;
+};
+
+/// Scrubbed view of one source file plus the structure the checks consume.
+class SourceModel {
+ public:
+  SourceModel(std::string path, const std::string& raw);
+
+  const std::string& path() const { return path_; }
+  /// Raw text with comments, string and char literals replaced by spaces
+  /// (newlines preserved, so offsets and line numbers match the original).
+  const std::string& code() const { return code_; }
+  const std::vector<Comment>& comments() const { return comments_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const std::vector<CallSite>& calls() const { return calls_; }
+  const std::vector<RangeFor>& range_fors() const { return range_fors_; }
+
+  int line_of(std::size_t pos) const;
+  int col_of(std::size_t pos) const;
+
+  /// Index into blocks() of the innermost block containing `pos`, -1 if none.
+  int innermost_block(std::size_t pos) const;
+  /// Innermost enclosing block (at or above `block`) that is a function body.
+  int enclosing_function(int block) const;
+
+  /// True when a `// wdc-lint: allow(<check>)` comment sits on `line` or the
+  /// line above it.
+  bool suppressed(int line, const std::string& check) const;
+
+  /// True when the statement containing `pos`, or any enclosing block's
+  /// guarding condition, mentions the identifier `ident` (used for the
+  /// two-gate check: is this emit site under an `enabled()` test?).
+  bool guarded_by(std::size_t pos, const std::string& ident) const;
+
+ private:
+  void scrub(const std::string& raw);
+  void index_lines();
+  void parse_structure();
+  void parse_suppressions();
+  void classify_paren_block(Block& b, std::size_t close_paren);
+  void parse_range_for(std::size_t for_pos, std::size_t open_paren);
+
+  std::string path_;
+  std::string code_;
+  std::vector<Comment> comments_;
+  std::vector<Block> blocks_;
+  std::vector<CallSite> calls_;
+  std::vector<RangeFor> range_fors_;
+  std::vector<std::size_t> line_starts_;
+  /// (line, check) pairs from allow() comments; a comment on line L covers
+  /// findings on L and L+1.
+  std::vector<std::pair<int, std::string>> allows_;
+};
+
+/// True if `text` contains `ident` as a whole word.
+bool contains_word(const std::string& text, const std::string& ident);
+
+}  // namespace wdc::lint
+
+#endif  // WDC_TOOLS_LINT_SOURCE_MODEL_HPP

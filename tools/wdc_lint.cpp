@@ -1,0 +1,105 @@
+/// wdc_lint — determinism & digest-purity static analysis for this repo.
+///
+/// The file list comes from a compile_commands.json (like clang-tidy) or from
+/// explicit paths; see tools/lint/lint.hpp for the five checks and
+/// docs/ANALYSIS.md for the invariants they protect.
+///
+/// Usage:
+///   wdc_lint --compdb build/compile_commands.json        # lint the tree
+///   wdc_lint --check two-gate src/mac/uplink.cpp ...     # selected checks
+///   wdc_lint --fix-list --compdb ...   # clang-tidy-style file:line:col:
+///                                      # error: ... [wdc-lint-<check>] lines
+///                                      # (shares the CI grep reporting path)
+///
+/// Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--compdb <compile_commands.json>] [--check <name>]\n"
+               "          [--fix-list] [--list-checks] [files...]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wdc::lint;
+  std::string compdb;
+  bool fix_list = false;
+  Options opts;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix-list") {
+      fix_list = true;
+    } else if (arg == "--list-checks") {
+      for (const Check c : kAllChecks) std::printf("%s\n", to_string(c));
+      return 0;
+    } else if (arg == "--compdb") {
+      if (++i >= argc) return usage(argv[0]);
+      compdb = argv[i];
+    } else if (arg == "--check") {
+      if (++i >= argc) return usage(argv[0]);
+      const auto check = check_from_string(argv[i]);
+      if (!check) {
+        std::fprintf(stderr,
+                     "wdc_lint: unknown check '%s' (see --list-checks)\n",
+                     argv[i]);
+        return 2;
+      }
+      opts.checks.push_back(*check);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (!compdb.empty()) {
+    std::string error;
+    const auto from_db = files_from_compdb(compdb, &error);
+    if (!from_db) {
+      std::fprintf(stderr, "wdc_lint: %s\n", error.c_str());
+      return 2;
+    }
+    paths.insert(paths.end(), from_db->begin(), from_db->end());
+  }
+  if (paths.empty()) return usage(argv[0]);
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths) {
+    const auto text = read_file(path);
+    if (!text) {
+      std::fprintf(stderr, "wdc_lint: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    files.push_back({path, *text});
+  }
+
+  const auto findings = run_lint(files, opts);
+  for (const Finding& f : findings) {
+    if (fix_list)
+      std::printf("%s:%d:%d: error: %s [wdc-lint-%s]\n", f.file.c_str(),
+                  f.line, f.col, f.message.c_str(), to_string(f.check));
+    else
+      std::printf("%s:%d:%d: warning: %s [%s]\n", f.file.c_str(), f.line,
+                  f.col, f.message.c_str(), to_string(f.check));
+  }
+  std::fprintf(stderr, "wdc_lint: %zu file(s), %zu finding(s)\n", files.size(),
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
