@@ -31,4 +31,38 @@ double rayleigh_afd(double threshold_db, double mean_snr_db, double doppler_hz) 
   return (std::exp(rho * rho) - 1.0) / (rho * doppler_hz * kSqrt2Pi);
 }
 
+double bessel_j0(double x) {
+  // Abramowitz & Stegun: 9.4.1 (polynomial, |x| <= 3) and 9.4.3 (modulus /
+  // phase form, |x| > 3). J0 is even, so work with |x|.
+  const double ax = std::fabs(x);
+  if (ax <= 3.0) {
+    const double t = (ax / 3.0) * (ax / 3.0);
+    return 1.0 +
+           t * (-2.2499997 +
+                t * (1.2656208 +
+                     t * (-0.3163866 +
+                          t * (0.0444479 +
+                               t * (-0.0039444 + t * 0.0002100)))));
+  }
+  const double t = 3.0 / ax;
+  const double f0 =
+      0.79788456 +
+      t * (-0.00000077 +
+           t * (-0.00552740 +
+                t * (-0.00009512 +
+                     t * (0.00137237 + t * (-0.00072805 + t * 0.00014476)))));
+  const double theta0 =
+      ax - 0.78539816 +
+      t * (-0.04166397 +
+           t * (-0.00003954 +
+                t * (0.00262573 +
+                     t * (-0.00054125 + t * (-0.00029333 + t * 0.00013558)))));
+  return f0 * std::cos(theta0) / std::sqrt(ax);
+}
+
+double jakes_power_autocorr(double doppler_hz, double tau_s) {
+  const double j0 = bessel_j0(2.0 * 3.14159265358979323846 * doppler_hz * tau_s);
+  return j0 * j0;
+}
+
 }  // namespace wdc::analysis

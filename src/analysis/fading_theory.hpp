@@ -22,6 +22,17 @@ double rayleigh_lcr(double threshold_db, double mean_snr_db, double doppler_hz);
 /// AFD = (exp(ρ²) − 1) / (ρ·f_d·√(2π)).
 double rayleigh_afd(double threshold_db, double mean_snr_db, double doppler_hz);
 
+/// Bessel function of the first kind, order zero (Abramowitz & Stegun 9.4.1 /
+/// 9.4.3 rational approximations, |error| < 2e-8). The Jakes Doppler spectrum
+/// gives the complex envelope autocorrelation J₀(2π·f_d·τ); the *power*-gain
+/// autocovariance is its square — the target the `-L channel` equivalence
+/// tier checks both fader generations against.
+double bessel_j0(double x);
+
+/// Normalized power-gain autocovariance of ideal Jakes/Clarke fading at lag
+/// tau: corr(g(t), g(t+τ)) = J₀(2π·f_d·τ)².
+double jakes_power_autocorr(double doppler_hz, double tau_s);
+
 }  // namespace wdc::analysis
 
 #endif  // WDC_ANALYSIS_FADING_THEORY_HPP

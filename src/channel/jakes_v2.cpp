@@ -1,0 +1,104 @@
+#include "channel/jakes_v2.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/fastcos.hpp"
+
+namespace wdc {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kInvTwoPi = 0.15915494309189535;  // 1 / 2π
+}  // namespace
+
+JakesFaderV2::JakesFaderV2(double doppler_hz, Rng& rng, unsigned oscillators)
+    : doppler_hz_(doppler_hz), n_(oscillators) {
+  if (doppler_hz <= 0.0)
+    throw std::invalid_argument("JakesFaderV2: doppler_hz > 0");
+  if (oscillators < 4)
+    throw std::invalid_argument("JakesFaderV2: need >= 4 oscillators");
+  if (oscillators > kMaxOscillators)
+    throw std::invalid_argument("JakesFaderV2: oscillators exceed kMaxOscillators");
+  const unsigned n = oscillators;
+  freq_turns_.resize(2 * static_cast<std::size_t>(n));
+  phase_turns_.resize(2 * static_cast<std::size_t>(n));
+  for (unsigned k = 0; k < n; ++k) {
+    // Same Pop–Beaulieu geometry and the same three draws per oscillator as
+    // v1 (θ, φ_I, φ_Q in that order): a v1 and a v2 constructed from the same
+    // Rng state share every phase, and anything split() off afterwards (the
+    // shadowing stream) is unperturbed by the version choice.
+    const double theta = rng.uniform(0.0, 2.0 * kPi);
+    const double alpha = (2.0 * kPi * k + theta) / (4.0 * n);
+    // Stored in turns: ω/2π = f_d·cos(α) (Hz), φ/2π ∈ [0, 1).
+    freq_turns_[k] = doppler_hz * std::cos(alpha);
+    freq_turns_[n + k] = freq_turns_[k];
+    phase_turns_[k] = rng.uniform(0.0, 2.0 * kPi) * kInvTwoPi;
+    phase_turns_[n + k] = rng.uniform(0.0, 2.0 * kPi) * kInvTwoPi;
+  }
+  norm_ = std::sqrt(1.0 / static_cast<double>(n));
+}
+
+double JakesFaderV2::power_gain(SimTime t) const {
+  const std::size_t n = n_;
+  const double* f = freq_turns_.data();
+  const double* p = phase_turns_.data();
+  // Straight-line kernel into a scratch buffer (no cross-iteration dependency)
+  // so the compiler vectorizes the polynomial across all 2n sinusoids; the
+  // reductions stay scalar and in fixed k-ascending order — the same order
+  // power_gain_block uses, which is what makes the two paths bit-identical.
+  double buf[2 * kMaxOscillators];
+  for (std::size_t k = 0; k < 2 * n; ++k)
+    buf[k] = fastmath::cos_turns(f[k] * t + p[k]);
+  double hi = 0.0, hq = 0.0;
+  for (std::size_t k = 0; k < n; ++k) hi += buf[k];
+  for (std::size_t k = 0; k < n; ++k) hq += buf[n + k];
+  hi *= norm_;
+  hq *= norm_;
+  return hi * hi + hq * hq;
+}
+
+double JakesFaderV2::power_gain_db(SimTime t) const {
+  return 10.0 * std::log10(std::max(power_gain(t), 1e-12));
+}
+
+void JakesFaderV2::power_gain_block(SimTime t0, double dt, std::size_t count,
+                                    double* out) const {
+  // Tile the grid; within a tile run oscillators outer / samples inner so the
+  // inner loop is a contiguous non-reducing stream the vectorizer loves.
+  // Accumulation order over k is ascending exactly as in power_gain, and each
+  // sample time is the same t0 + dt·i expression — bit-identity with the
+  // pointwise path is by construction, and tests/channel pins it.
+  constexpr std::size_t kTile = 128;
+  const std::size_t n = n_;
+  const double* f = freq_turns_.data();
+  const double* p = phase_turns_.data();
+  double ts[kTile], hi[kTile], hq[kTile];
+  for (std::size_t base = 0; base < count; base += kTile) {
+    const std::size_t m = std::min(kTile, count - base);
+    for (std::size_t i = 0; i < m; ++i)
+      ts[i] = t0 + dt * static_cast<double>(base + i);
+    for (std::size_t i = 0; i < m; ++i) hi[i] = 0.0;
+    for (std::size_t i = 0; i < m; ++i) hq[i] = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double fk = f[k];
+      const double pk = p[k];
+      for (std::size_t i = 0; i < m; ++i)
+        hi[i] += fastmath::cos_turns(fk * ts[i] + pk);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const double fk = f[n + k];
+      const double pk = p[n + k];
+      for (std::size_t i = 0; i < m; ++i)
+        hq[i] += fastmath::cos_turns(fk * ts[i] + pk);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const double a = hi[i] * norm_;
+      const double b = hq[i] * norm_;
+      out[base + i] = a * a + b * b;
+    }
+  }
+}
+
+}  // namespace wdc
