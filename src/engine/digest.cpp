@@ -83,6 +83,9 @@ std::uint64_t metrics_digest(const Metrics& m) {
   //   wdc-lint: digest-exclude(fault_uplink_drops, churn_events)
   //   wdc-lint: digest-exclude(churn_rejoins, recoveries, mean_recovery_s)
   //   wdc-lint: digest-exclude(stale_exposure)
+  //   wdc-lint: digest-exclude(fault_corrupt_rejected, fault_corrupt_accepted)
+  //   wdc-lint: digest-exclude(server_crashes, server_recoveries)
+  //   wdc-lint: digest-exclude(crash_suppressed, schedule_misses)
   return d.value();
 }
 

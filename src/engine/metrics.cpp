@@ -63,6 +63,14 @@ void Metrics::print(std::ostream& os) const {
         ull(fault_ir_drops), ull(fault_bcast_drops), ull(fault_uplink_drops),
         ull(churn_events), ull(recoveries), mean_recovery_s,
         ull(stale_exposure));
+  if (fault_corrupt_rejected + fault_corrupt_accepted + server_crashes > 0)
+    os << strfmt(
+        "incidents          %llu corrupt frames rejected (%llu accepted); "
+        "%llu crashes / %llu recoveries, %llu sends suppressed, "
+        "%llu schedule misses\n",
+        ull(fault_corrupt_rejected), ull(fault_corrupt_accepted),
+        ull(server_crashes), ull(server_recoveries), ull(crash_suppressed),
+        ull(schedule_misses));
   if (kernel.scheduled > 0)
     os << strfmt(
         "event kernel       %llu scheduled / %llu fired / %llu cancelled; "

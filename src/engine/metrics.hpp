@@ -100,6 +100,12 @@ struct Metrics {
   std::uint64_t recoveries = 0;         ///< consistency points after rejoins
   double mean_recovery_s = 0.0;         ///< mean rejoin → consistency time
   std::uint64_t stale_exposure = 0;     ///< suspect entries shed in recoveries
+  std::uint64_t fault_corrupt_rejected = 0;  ///< byzantine frames codec caught
+  std::uint64_t fault_corrupt_accepted = 0;  ///< byzantine frames that decoded
+  std::uint64_t server_crashes = 0;     ///< scripted server-down edges
+  std::uint64_t server_recoveries = 0;  ///< restarts (log-replay full reports)
+  std::uint64_t crash_suppressed = 0;   ///< server sends/receptions swallowed
+  std::uint64_t schedule_misses = 0;    ///< scripted point events never matched
 
   // --- event-kernel perf counters ---
   /// Instrumentation only: all zero under -DWDC_PERF_COUNTERS=OFF, and

@@ -152,6 +152,18 @@ Metrics mean_of(const std::vector<Metrics>& reps) {
   out.mean_recovery_s = avg([](const Metrics& m) { return m.mean_recovery_s; });
   out.stale_exposure = static_cast<std::uint64_t>(
       avg([](const Metrics& m) { return m.stale_exposure; }));
+  out.fault_corrupt_rejected = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.fault_corrupt_rejected; }));
+  out.fault_corrupt_accepted = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.fault_corrupt_accepted; }));
+  out.server_crashes = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.server_crashes; }));
+  out.server_recoveries = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.server_recoveries; }));
+  out.crash_suppressed = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.crash_suppressed; }));
+  out.schedule_misses = static_cast<std::uint64_t>(
+      avg([](const Metrics& m) { return m.schedule_misses; }));
   const auto avg_count = [&](auto field) {
     return static_cast<std::uint64_t>(
         avg([field](const Metrics& m) { return static_cast<double>(m.kernel.*field); }));

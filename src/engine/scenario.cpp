@@ -148,6 +148,9 @@ Scenario Scenario::from_config(const Config& c, const Scenario& base) {
       c.get_double("fault_churn_down", s.faults.churn_mean_down_s);
   s.faults.rejoin = rejoin_policy_from_string(
       c.get_string("fault_rejoin", to_string(s.faults.rejoin)));
+  const std::string sched_path = c.get_string("fault_schedule", "");
+  if (!sched_path.empty())
+    s.faults.schedule = FaultSchedule::load_file(sched_path);
 
   s.snr_assignment = snr_assignment_from_string(
       c.get_string("snr_assignment", to_string(s.snr_assignment)));

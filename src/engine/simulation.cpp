@@ -74,6 +74,8 @@ Simulation::Simulation(Scenario scenario)
   faults_->set_churn_handler([this](ClientId c, bool connected) {
     if (c < clients_.size()) clients_[c]->on_churn(connected);
   });
+  faults_->set_server_handler(
+      [this](bool down) { server_->on_server_state(down); });
 
   traffic_ = std::make_unique<TrafficGenerator>(
       sim_, scenario_.traffic, M, wl_rng.split(),
@@ -221,6 +223,12 @@ Metrics Simulation::collect() const {
           ? fs.recovery_time_s / static_cast<double>(fs.recoveries)
           : 0.0;
   m.stale_exposure = fs.stale_exposure;
+  m.fault_corrupt_rejected = fs.corrupt_rejected;
+  m.fault_corrupt_accepted = fs.corrupt_accepted;
+  m.server_crashes = fs.server_crashes;
+  m.server_recoveries = fs.server_recoveries;
+  m.crash_suppressed = server_->crash_suppressed();
+  m.schedule_misses = fs.schedule_misses;
 
   m.kernel = sim_.kernel_counters();
   return m;

@@ -362,6 +362,30 @@ void write_faults_block(std::ostream& os, const std::vector<Metrics>& reps) {
      << ", \"stale_exposure\": "
      << json_num(metrics_mean(
             reps, [](const Metrics& m) { return static_cast<double>(m.stale_exposure); }))
+     << ", \"corrupt_rejected\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) {
+          return static_cast<double>(m.fault_corrupt_rejected);
+        }))
+     << ", \"corrupt_accepted\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) {
+          return static_cast<double>(m.fault_corrupt_accepted);
+        }))
+     << ", \"server_crashes\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) {
+          return static_cast<double>(m.server_crashes);
+        }))
+     << ", \"server_recoveries\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) {
+          return static_cast<double>(m.server_recoveries);
+        }))
+     << ", \"crash_suppressed\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) {
+          return static_cast<double>(m.crash_suppressed);
+        }))
+     << ", \"schedule_misses\": "
+     << json_num(metrics_mean(reps, [](const Metrics& m) {
+          return static_cast<double>(m.schedule_misses);
+        }))
      << "}";
 }
 

@@ -54,6 +54,14 @@ void FaultConfig::validate() const {
   if (churn_rate > 0.0 && churn_mean_down_s <= 0.0)
     throw std::invalid_argument(
         "FaultConfig: churn_mean_down_s > 0 when churn is on");
+  schedule.validate();
+  if (churn_rate > 0.0) {
+    for (const FaultScheduleEvent& e : schedule.events)
+      if (e.kind == FaultScheduleKind::kDisconnect)
+        throw std::invalid_argument(
+            "FaultConfig: scripted disconnect windows are mutually exclusive "
+            "with random churn (churn_rate > 0)");
+  }
 }
 
 }  // namespace wdc

@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "faults/fault_schedule.hpp"
+
 namespace wdc {
 
 /// How per-client downlink reception loss is drawn.
@@ -65,6 +67,14 @@ struct FaultConfig {
   double churn_mean_down_s = 30.0;  ///< mean disconnection window
   RejoinPolicy rejoin = RejoinPolicy::kSuspect;
 
+  // --- scripted incident replay ---
+  /// Deterministic event timeline layered on top of (or instead of) the
+  /// random axes above (`fault_schedule=<path>` scenario key). An empty
+  /// schedule is digest-inert. Scripted disconnect windows are mutually
+  /// exclusive with random churn (churn_rate > 0) — mixing the two would make
+  /// the scripted windows collide with churn's own connectivity state.
+  FaultSchedule schedule;
+
   /// Cross-field sanity; throws std::invalid_argument on nonsense.
   void validate() const;
 };
@@ -84,6 +94,15 @@ struct FaultStats {
   /// Cache entries invalidated or dropped at a post-rejoin recovery point —
   /// copies that were exposed as potentially stale during the outage.
   std::uint64_t stale_exposure = 0;
+  // --- incident replay / byzantine corruption ---
+  std::uint64_t corrupt_rejected = 0;  ///< damaged frames the codec caught
+  std::uint64_t corrupt_accepted = 0;  ///< damaged frames that still decoded
+                                       ///< (canary — expected to stay 0)
+  std::uint64_t server_crashes = 0;    ///< scripted server down edges
+  std::uint64_t server_recoveries = 0; ///< scripted server up edges
+  /// Scripted point events whose exact timestamp never matched a hook call —
+  /// a replay drifting from its recording shows up here, not silently.
+  std::uint64_t schedule_misses = 0;
 };
 
 }  // namespace wdc

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "channel/gilbert_elliott.hpp"
 #include "util/check.hpp"
@@ -13,7 +14,8 @@ namespace wdc {
 
 FaultInjector::FaultInjector(Simulator& sim, FaultConfig cfg,
                              std::uint32_t num_clients, Rng rng)
-    : sim_(sim), cfg_(cfg), loss_rng_(rng.split()), churn_rng_(rng.split()) {
+    : sim_(sim), cfg_(std::move(cfg)), loss_rng_(rng.split()),
+      churn_rng_(rng.split()) {
   cfg_.validate();
   connected_.assign(num_clients, 1);
   if (!cfg_.enabled) return;
@@ -27,12 +29,89 @@ FaultInjector::FaultInjector(Simulator& sim, FaultConfig cfg,
           cfg_.burst_mean_good_s, cfg_.burst_mean_bad_s, 0.0, 0.0,
           loss_rng_.split()));
   }
+  index_schedule();
 }
 
 FaultInjector::~FaultInjector() = default;
 
+void FaultInjector::load_schedule(FaultSchedule schedule) {
+  WDC_CHECK(!started_,
+            "fault schedule replayed after simulation start — every event "
+            "before `now` would be silently skipped");
+  cfg_.schedule = std::move(schedule);
+  cfg_.validate();
+  if (cfg_.enabled) index_schedule();
+}
+
+void FaultInjector::index_schedule() {
+  loss_windows_.clear();
+  corrupt_windows_.clear();
+  timed_.clear();
+  drop_points_.assign(connected_.size(), {});
+  uplink_points_.assign(connected_.size(), {});
+  corrupt_points_.assign(connected_.size(), {});
+  for (const FaultScheduleEvent& e : cfg_.schedule.events) {
+    switch (e.kind) {
+      case FaultScheduleKind::kLossWindow:
+        loss_windows_.push_back({e.client, e.t0, e.t1, e.rate, e.msgs});
+        break;
+      case FaultScheduleKind::kOutage:
+        // A cell-wide blackout is a loss window over everyone, certainly.
+        loss_windows_.push_back(
+            {kInvalidClient, e.t0, e.t1, 1.0, FaultMsgClass::kAll});
+        break;
+      case FaultScheduleKind::kCorruptWindow:
+        corrupt_windows_.push_back({e.client, e.t0, e.t1, e.rate, e.msgs});
+        break;
+      case FaultScheduleKind::kServerCrash:
+      case FaultScheduleKind::kDisconnect:
+        timed_.push_back(e);
+        break;
+      // Point events for clients beyond this scenario's population are
+      // indexed nowhere; a replay against a smaller cell simply never
+      // consults them.
+      case FaultScheduleKind::kDropPoint:
+        if (e.client < drop_points_.size()) {
+          drop_points_[e.client].times.push_back(e.t0);
+          drop_points_[e.client].ords.push_back(e.ordinal);
+        }
+        break;
+      case FaultScheduleKind::kUplinkDropPoint:
+        if (e.client < uplink_points_.size()) {
+          uplink_points_[e.client].times.push_back(e.t0);
+          uplink_points_[e.client].ords.push_back(e.ordinal);
+        }
+        break;
+      case FaultScheduleKind::kCorruptPoint:
+        if (e.client < corrupt_points_.size()) {
+          corrupt_points_[e.client].times.push_back(e.t0);
+          corrupt_points_[e.client].ords.push_back(e.ordinal);
+        }
+        break;
+    }
+  }
+}
+
 void FaultInjector::start() {
-  if (!cfg_.enabled || cfg_.churn_rate <= 0.0) return;
+  WDC_CHECK(!started_, "FaultInjector::start() called twice");
+  started_ = true;
+  if (!cfg_.enabled) return;
+  for (const FaultScheduleEvent& e : timed_) {
+    if (e.kind == FaultScheduleKind::kServerCrash) {
+      sim_.schedule_at(e.t0, [this] { server_edge(true); },
+                       EventPriority::kProtocol);
+      sim_.schedule_at(e.t1, [this] { server_edge(false); },
+                       EventPriority::kProtocol);
+    } else {
+      const ClientId c = e.client;
+      if (c >= connected_.size()) continue;
+      sim_.schedule_at(e.t0, [this, c] { disconnect(c, /*scripted=*/true); },
+                       EventPriority::kWorkload);
+      sim_.schedule_at(e.t1, [this, c] { rejoin(c, /*scripted=*/true); },
+                       EventPriority::kWorkload);
+    }
+  }
+  if (cfg_.churn_rate <= 0.0) return;
   for (std::uint32_t c = 0; c < connected_.size(); ++c)
     schedule_disconnect(static_cast<ClientId>(c));
 }
@@ -43,11 +122,11 @@ bool FaultInjector::connected(ClientId c) const {
 
 void FaultInjector::schedule_disconnect(ClientId c) {
   const double delay = Exponential(cfg_.churn_rate).sample(churn_rng_);
-  sim_.schedule_in(delay, [this, c] { disconnect(c); },
+  sim_.schedule_in(delay, [this, c] { disconnect(c, /*scripted=*/false); },
                    EventPriority::kWorkload);
 }
 
-void FaultInjector::disconnect(ClientId c) {
+void FaultInjector::disconnect(ClientId c, bool scripted) {
   WDC_ASSERT(connected_[c] != 0, "client ", c, " disconnected twice");
   connected_[c] = 0;
   ++stats_.churn_events;
@@ -55,11 +134,13 @@ void FaultInjector::disconnect(ClientId c) {
   if (tr.enabled())
     tr.emit(TraceEventKind::kChurnDisconnect, sim_.now(), c, kInvalidItem);
   if (churn_) churn_(c, false);
+  if (scripted) return;  // the rejoin edge is already on the timeline
   const double down = Exponential(1.0 / cfg_.churn_mean_down_s).sample(churn_rng_);
-  sim_.schedule_in(down, [this, c] { rejoin(c); }, EventPriority::kWorkload);
+  sim_.schedule_in(down, [this, c] { rejoin(c, /*scripted=*/false); },
+                   EventPriority::kWorkload);
 }
 
-void FaultInjector::rejoin(ClientId c) {
+void FaultInjector::rejoin(ClientId c, bool scripted) {
   WDC_ASSERT(connected_[c] == 0, "client ", c, " rejoined while connected");
   connected_[c] = 1;
   ++stats_.rejoins;
@@ -67,23 +148,87 @@ void FaultInjector::rejoin(ClientId c) {
   if (tr.enabled())
     tr.emit(TraceEventKind::kChurnRejoin, sim_.now(), c, kInvalidItem);
   if (churn_) churn_(c, true);
-  schedule_disconnect(c);
+  if (!scripted) schedule_disconnect(c);
+}
+
+void FaultInjector::server_edge(bool down) {
+  if (down)
+    ++stats_.server_crashes;
+  else
+    ++stats_.server_recoveries;
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(down ? TraceEventKind::kServerCrash
+                 : TraceEventKind::kServerRecover,
+            sim_.now(), kInvalidClient, kInvalidItem);
+  if (server_) server_(down);
+}
+
+bool FaultInjector::point_due(PointQueue& q, SimTime t) {
+  // Scripted points replay the recording's own timestamps, so a live replay
+  // consumes them in order with bit-equal matches; anything the simulation
+  // drove past without matching is a miss, counted rather than silent.
+  // Within one instant, calls are disambiguated by ordinal: this is the
+  // `ord`-th consultation of this queue at exactly `t`, and only the entry
+  // scripted with that ordinal matches (a client can send several uplink
+  // requests in the same instant — see fault_schedule.hpp).
+  std::uint32_t ord = 0;
+  if (q.call_t == t) {
+    ord = q.calls++;
+  } else {
+    q.call_t = t;
+    q.calls = 1;
+  }
+  while (q.cursor < q.times.size() &&
+         (q.times[q.cursor] < t ||
+          (q.times[q.cursor] == t && q.ords[q.cursor] < ord))) {
+    ++q.cursor;
+    ++stats_.schedule_misses;
+  }
+  if (q.cursor < q.times.size() && q.times[q.cursor] == t &&
+      q.ords[q.cursor] == ord) {
+    ++q.cursor;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::match_windows(const std::vector<Window>& windows,
+                                  ClientId c, bool is_report, SimTime t) {
+  for (const Window& w : windows) {
+    if (t < w.t0 || t >= w.t1) continue;
+    if (w.client != kInvalidClient && w.client != c) continue;
+    if (w.msgs == FaultMsgClass::kReport && !is_report) continue;
+    if (w.msgs == FaultMsgClass::kData && is_report) continue;
+    // Certain windows (rate 1 — every outage, every distilled event) consume
+    // no randomness, so pure replays leave the loss stream untouched.
+    if (w.rate >= 1.0) return true;
+    if (w.rate > 0.0 && loss_rng_.bernoulli(w.rate)) return true;
+  }
+  return false;
 }
 
 bool FaultInjector::drop_downlink(ClientId c, MsgKind kind, SimTime t) {
   if (!cfg_.enabled) return false;
   const bool is_report = kind == MsgKind::kInvalidationReport ||
                          kind == MsgKind::kMiniReport;
-  const double p = is_report ? cfg_.ir_loss : cfg_.bcast_loss;
-  if (p <= 0.0) return false;
-  bool faulted = false;
-  if (cfg_.loss_mode == FaultLossMode::kBurst) {
-    // Gilbert–Elliott gating: the impairment only bites while this client's
-    // burst process is Bad; the state advance consumes no per-call draws.
-    if (c < burst_.size() && !burst_[c]->good(t))
-      faulted = loss_rng_.bernoulli(p);
-  } else {
-    faulted = loss_rng_.bernoulli(p);
+  // Scripted axes first — a pure replay must consume no randomness at all.
+  bool faulted = c < drop_points_.size() && point_due(drop_points_[c], t);
+  if (!faulted && !loss_windows_.empty())
+    faulted = match_windows(loss_windows_, c, is_report, t);
+  if (!faulted) {
+    const double p = is_report ? cfg_.ir_loss : cfg_.bcast_loss;
+    if (p > 0.0) {
+      if (cfg_.loss_mode == FaultLossMode::kBurst) {
+        // Gilbert–Elliott gating: the impairment only bites while this
+        // client's burst process is Bad; the state advance consumes no
+        // per-call draws.
+        if (c < burst_.size() && !burst_[c]->good(t))
+          faulted = loss_rng_.bernoulli(p);
+      } else {
+        faulted = loss_rng_.bernoulli(p);
+      }
+    }
   }
   if (faulted) {
     if (is_report)
@@ -96,6 +241,13 @@ bool FaultInjector::drop_downlink(ClientId c, MsgKind kind, SimTime t) {
 
 bool FaultInjector::drop_uplink(ClientId c) {
   if (!cfg_.enabled) return false;
+  // Scripted points before the connectivity check: a distilled trace records
+  // disconnection-caused drops as plain uplink-drop points, and the replay
+  // must consume them here whatever this run's connectivity state is.
+  if (c < uplink_points_.size() && point_due(uplink_points_[c], sim_.now())) {
+    ++stats_.uplink_drops;
+    return true;
+  }
   if (!connected(c)) {
     // A churned-away radio cannot reach the base station; no randomness.
     ++stats_.uplink_drops;
@@ -105,6 +257,24 @@ bool FaultInjector::drop_uplink(ClientId c) {
   if (!loss_rng_.bernoulli(cfg_.uplink_drop)) return false;
   ++stats_.uplink_drops;
   return true;
+}
+
+bool FaultInjector::corrupt_downlink(ClientId c, MsgKind kind, SimTime t) {
+  if (!cfg_.enabled) return false;
+  const bool is_report = kind == MsgKind::kInvalidationReport ||
+                         kind == MsgKind::kMiniReport;
+  if (!is_report) return false;  // byzantine mode targets the report codec
+  if (c < corrupt_points_.size() && point_due(corrupt_points_[c], t))
+    return true;
+  return !corrupt_windows_.empty() &&
+         match_windows(corrupt_windows_, c, /*is_report=*/true, t);
+}
+
+void FaultInjector::record_corrupt(bool accepted) {
+  if (accepted)
+    ++stats_.corrupt_accepted;
+  else
+    ++stats_.corrupt_rejected;
 }
 
 double FaultInjector::retry_timeout(double base_timeout_s,
@@ -120,6 +290,19 @@ void FaultInjector::record_recovery(ClientId, double recovery_s,
   ++stats_.recoveries;
   stats_.recovery_time_s += recovery_s;
   stats_.stale_exposure += exposed;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats s = stats_;
+  // Points the run ended without ever reaching are misses too.
+  const auto tail = [](const std::vector<PointQueue>& queues) {
+    std::uint64_t n = 0;
+    for (const PointQueue& q : queues) n += q.times.size() - q.cursor;
+    return n;
+  };
+  s.schedule_misses +=
+      tail(drop_points_) + tail(uplink_points_) + tail(corrupt_points_);
+  return s;
 }
 
 }  // namespace wdc

@@ -44,6 +44,9 @@ class FaultInjector {
   /// Fired on every churn edge: (client, connected). The engine wires this to
   /// ClientProtocol::on_churn.
   using ChurnHandler = std::function<void(ClientId, bool)>;
+  /// Fired on every scripted server crash/recovery edge: (down). The engine
+  /// wires this to ServerProtocol::on_server_state.
+  using ServerHandler = std::function<void(bool)>;
 
   FaultInjector(Simulator& sim, FaultConfig cfg, std::uint32_t num_clients,
                 Rng rng);
@@ -57,7 +60,16 @@ class FaultInjector {
   bool rejoin_cold() const { return cfg_.rejoin == RejoinPolicy::kCold; }
 
   void set_churn_handler(ChurnHandler fn) { churn_ = std::move(fn); }
-  /// Schedule the first per-client disconnects (no-op unless churn is on).
+  void set_server_handler(ServerHandler fn) { server_ = std::move(fn); }
+
+  /// Replace the scripted schedule before the run starts (the usual path is
+  /// Scenario/FaultConfig; this is the tooling/test entry). WDC_CHECKs that
+  /// the simulation has not started — a schedule replayed into a running
+  /// simulation would skip every event before `now`.
+  void load_schedule(FaultSchedule schedule);
+
+  /// Schedule the scripted crash/disconnect timeline and the first random
+  /// per-client disconnects. Called exactly once, at t = 0.
   void start();
 
   /// False while client `c` is churned away.
@@ -73,6 +85,17 @@ class FaultInjector {
   /// clients always lose their requests (without consuming randomness).
   bool drop_uplink(ClientId c);
 
+  /// Should this decoded report reception be corrupted in flight (byzantine
+  /// mode)? Purely schedule-driven point matches consume no randomness;
+  /// probabilistic corrupt windows draw from the private loss stream. The
+  /// client layer performs the actual damage and feeds the frame back through
+  /// the report codec — see ClientProtocol::on_reception.
+  bool corrupt_downlink(ClientId c, MsgKind kind, SimTime t);
+
+  /// Outcome of one byzantine round-trip: did the codec accept the damaged
+  /// frame (accepted, the canary case) or reject it (the expected case)?
+  void record_corrupt(bool accepted);
+
   /// Re-request timeout for the given retry attempt (0 = first wait):
   /// min(base · backoff_mult^attempt, backoff_cap_s). Exactly `base` when the
   /// injector is disabled, bit-identically.
@@ -82,12 +105,40 @@ class FaultInjector {
   /// reconnecting, shedding `exposed` potentially stale cache entries.
   void record_recovery(ClientId c, double recovery_s, std::uint64_t exposed);
 
-  FaultStats stats() const { return stats_; }
+  FaultStats stats() const;
 
  private:
+  /// One indexed schedule window, normalized (an outage becomes an
+  /// all-clients, rate-1, all-kinds loss window).
+  struct Window {
+    ClientId client;
+    SimTime t0;
+    SimTime t1;
+    double rate;
+    FaultMsgClass msgs;
+  };
+  /// Per-client scripted points, consumed in time order. Entries pair a
+  /// timestamp with an ordinal selecting among multiple hook calls in the
+  /// same simulation instant (uplink sends — see fault_schedule.hpp; the
+  /// other point kinds always carry ordinal 0). `call_t`/`calls` count how
+  /// often this queue has been consulted at the current instant, so the live
+  /// call stream carries its own ordinals to match against.
+  struct PointQueue {
+    std::vector<SimTime> times;
+    std::vector<std::uint32_t> ords;
+    std::size_t cursor = 0;
+    SimTime call_t = -1.0;
+    std::uint32_t calls = 0;
+  };
+
+  void index_schedule();
+  bool point_due(PointQueue& q, SimTime t);
+  bool match_windows(const std::vector<Window>& windows, ClientId c,
+                     bool is_report, SimTime t);
+  void server_edge(bool down);
   void schedule_disconnect(ClientId c);
-  void disconnect(ClientId c);
-  void rejoin(ClientId c);
+  void disconnect(ClientId c, bool scripted);
+  void rejoin(ClientId c, bool scripted);
 
   Simulator& sim_;
   FaultConfig cfg_;
@@ -97,7 +148,17 @@ class FaultInjector {
   /// Burst mode: one two-state process per client (losses only while Bad).
   std::vector<std::unique_ptr<GilbertElliott>> burst_;
   ChurnHandler churn_;
+  ServerHandler server_;
   FaultStats stats_;
+  // Indexed view of cfg_.schedule (index_schedule()).
+  std::vector<Window> loss_windows_;
+  std::vector<Window> corrupt_windows_;
+  std::vector<PointQueue> drop_points_;
+  std::vector<PointQueue> uplink_points_;
+  std::vector<PointQueue> corrupt_points_;
+  /// Crash + disconnect windows, turned into simulator events at start().
+  std::vector<FaultScheduleEvent> timed_;
+  bool started_ = false;
 };
 
 #else
@@ -107,16 +168,21 @@ class FaultInjector {
 class FaultInjector {
  public:
   using ChurnHandler = std::function<void(ClientId, bool)>;
+  using ServerHandler = std::function<void(bool)>;
 
   FaultInjector(Simulator&, FaultConfig, std::uint32_t, Rng) {}
   bool enabled() const { return false; }
   FaultConfig config() const { return {}; }
   bool rejoin_cold() const { return false; }
   void set_churn_handler(ChurnHandler) {}
+  void set_server_handler(ServerHandler) {}
+  void load_schedule(FaultSchedule) {}
   void start() {}
   bool connected(ClientId) const { return true; }
   bool drop_downlink(ClientId, MsgKind, SimTime) { return false; }
   bool drop_uplink(ClientId) { return false; }
+  bool corrupt_downlink(ClientId, MsgKind, SimTime) { return false; }
+  void record_corrupt(bool) {}
   double retry_timeout(double base_timeout_s, unsigned) const {
     return base_timeout_s;
   }

@@ -1,0 +1,446 @@
+#include "faults/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/string_util.hpp"
+
+namespace wdc {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw std::invalid_argument("fault schedule line " + std::to_string(line_no) +
+                              ": " + what);
+}
+
+/// Parse a full-token double; rejects garbage, partial consumption, and
+/// non-finite values (the file format has no business encoding inf/nan).
+double parse_double(const std::string& s, std::size_t line_no,
+                    const std::string& key) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0')
+    fail(line_no, "bad number for " + key + ": '" + s + "'");
+  if (!std::isfinite(v))
+    fail(line_no, "non-finite " + key + ": '" + s + "'");
+  return v;
+}
+
+ClientId parse_client(const std::string& s, std::size_t line_no) {
+  if (s == "all") return kInvalidClient;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+      v >= kInvalidClient)
+    fail(line_no, "bad client id: '" + s + "'");
+  return static_cast<ClientId>(v);
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+const char* kind_word(FaultScheduleKind k) {
+  switch (k) {
+    case FaultScheduleKind::kLossWindow: return "loss";
+    case FaultScheduleKind::kOutage: return "outage";
+    case FaultScheduleKind::kServerCrash: return "crash";
+    case FaultScheduleKind::kCorruptWindow: return "corrupt";
+    case FaultScheduleKind::kDisconnect: return "disconnect";
+    case FaultScheduleKind::kDropPoint: return "drop";
+    case FaultScheduleKind::kUplinkDropPoint: return "updrop";
+    case FaultScheduleKind::kCorruptPoint: return "corruptat";
+  }
+  return "?";
+}
+
+std::string client_word(ClientId c) {
+  return c == kInvalidClient ? std::string("all") : std::to_string(c);
+}
+
+/// Key → raw value map for one event line; duplicate keys rejected.
+std::map<std::string, std::string> parse_kv(
+    const std::vector<std::string>& toks, std::size_t line_no) {
+  std::map<std::string, std::string> kv;
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    const std::string& tok = toks[i];
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= tok.size())
+      fail(line_no, "expected key=value, got '" + tok + "'");
+    const std::string key = tok.substr(0, eq);
+    if (!kv.emplace(key, tok.substr(eq + 1)).second)
+      fail(line_no, "duplicate key '" + key + "'");
+  }
+  return kv;
+}
+
+std::string take(std::map<std::string, std::string>& kv, const char* key,
+                 std::size_t line_no) {
+  auto it = kv.find(key);
+  if (it == kv.end()) fail(line_no, std::string("missing key '") + key + "'");
+  std::string v = std::move(it->second);
+  kv.erase(it);
+  return v;
+}
+
+}  // namespace
+
+FaultMsgClass fault_msg_class_from_string(const std::string& name) {
+  if (name == "report") return FaultMsgClass::kReport;
+  if (name == "data") return FaultMsgClass::kData;
+  if (name == "all") return FaultMsgClass::kAll;
+  throw std::invalid_argument("unknown fault message class: '" + name + "'");
+}
+
+std::string to_string(FaultMsgClass m) {
+  switch (m) {
+    case FaultMsgClass::kReport: return "report";
+    case FaultMsgClass::kData: return "data";
+    case FaultMsgClass::kAll: return "all";
+  }
+  return "?";
+}
+
+void FaultSchedule::validate() const {
+  const auto bad = [](std::size_t i, const std::string& what) {
+    throw std::invalid_argument("fault schedule event " + std::to_string(i) +
+                                ": " + what);
+  };
+  // Overlap tracking: previous window end per overlap class. Events are
+  // sorted by t0, so each class only needs its running maximum end.
+  double outage_end = 0.0;
+  double crash_end = 0.0;
+  std::map<ClientId, double> disconnect_end;
+  double prev_t0 = 0.0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultScheduleEvent& e = events[i];
+    if (!std::isfinite(e.t0) || !std::isfinite(e.t1) ||
+        !std::isfinite(e.rate))
+      bad(i, "non-finite time or rate");
+    if (e.t0 < 0.0) bad(i, "scheduled before t=0");
+    if (e.t1 < e.t0) bad(i, "window ends before it starts");
+    if (e.is_point() && e.t1 != e.t0) bad(i, "point event with t1 != t0");
+    if (e.rate < 0.0 || e.rate > 1.0) bad(i, "rate outside [0, 1]");
+    if (e.ordinal != 0 && e.kind != FaultScheduleKind::kUplinkDropPoint)
+      bad(i, "ordinal n= is only meaningful on updrop events");
+    if (i > 0 && e.t0 < prev_t0) bad(i, "events out of time order");
+    prev_t0 = e.t0;
+    switch (e.kind) {
+      case FaultScheduleKind::kOutage:
+        if (e.t0 < outage_end) bad(i, "overlapping outage windows");
+        outage_end = e.t1;
+        break;
+      case FaultScheduleKind::kServerCrash:
+        if (e.t0 < crash_end) bad(i, "overlapping server crash windows");
+        crash_end = e.t1;
+        break;
+      case FaultScheduleKind::kDisconnect: {
+        if (e.client == kInvalidClient)
+          bad(i, "disconnect window needs a concrete client");
+        double& end = disconnect_end[e.client];
+        if (e.t0 < end)
+          bad(i, "overlapping disconnect windows for client " +
+                     std::to_string(e.client));
+        end = e.t1;
+        break;
+      }
+      case FaultScheduleKind::kDropPoint:
+      case FaultScheduleKind::kUplinkDropPoint:
+      case FaultScheduleKind::kCorruptPoint:
+        if (e.client == kInvalidClient)
+          bad(i, "point event needs a concrete client");
+        break;
+      case FaultScheduleKind::kLossWindow:
+      case FaultScheduleKind::kCorruptWindow:
+        break;
+    }
+  }
+}
+
+std::string FaultSchedule::serialize() const {
+  std::string out =
+      "wdcsched v1 " + std::to_string(events.size()) + "\n";
+  for (const FaultScheduleEvent& e : events) {
+    out += kind_word(e.kind);
+    switch (e.kind) {
+      case FaultScheduleKind::kLossWindow:
+        out += strfmt(" client=%s t0=%.17g t1=%.17g rate=%.17g msgs=%s",
+                      client_word(e.client).c_str(), e.t0, e.t1, e.rate,
+                      to_string(e.msgs).c_str());
+        break;
+      case FaultScheduleKind::kOutage:
+      case FaultScheduleKind::kServerCrash:
+        out += strfmt(" t0=%.17g t1=%.17g", e.t0, e.t1);
+        break;
+      case FaultScheduleKind::kCorruptWindow:
+        out += strfmt(" client=%s t0=%.17g t1=%.17g rate=%.17g",
+                      client_word(e.client).c_str(), e.t0, e.t1, e.rate);
+        break;
+      case FaultScheduleKind::kDisconnect:
+        out += strfmt(" client=%s t0=%.17g t1=%.17g",
+                      client_word(e.client).c_str(), e.t0, e.t1);
+        break;
+      case FaultScheduleKind::kDropPoint:
+        out += strfmt(" client=%s t=%.17g msgs=%s",
+                      client_word(e.client).c_str(), e.t0,
+                      to_string(e.msgs).c_str());
+        break;
+      case FaultScheduleKind::kUplinkDropPoint:
+        out += strfmt(" client=%s t=%.17g", client_word(e.client).c_str(),
+                      e.t0);
+        // Ordinal 0 (drop the first same-instant send) is the default and
+        // stays implicit so the canonical form is a fixed point.
+        if (e.ordinal != 0) out += strfmt(" n=%u", e.ordinal);
+        break;
+      case FaultScheduleKind::kCorruptPoint:
+        out += strfmt(" client=%s t=%.17g", client_word(e.client).c_str(),
+                      e.t0);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+FaultSchedule FaultSchedule::parse(const std::string& text) {
+  FaultSchedule sched;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  std::size_t declared = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> toks = split_tokens(line);
+    if (toks.empty()) continue;
+    if (!saw_header) {
+      if (toks.size() != 3 || toks[0] != "wdcsched")
+        fail(line_no, "expected header 'wdcsched v1 <count>'");
+      if (toks[1] != "v1")
+        fail(line_no, "unsupported schedule version '" + toks[1] + "'");
+      errno = 0;
+      char* end = nullptr;
+      const unsigned long n = std::strtoul(toks[2].c_str(), &end, 10);
+      if (end == toks[2].c_str() || *end != '\0' || errno == ERANGE)
+        fail(line_no, "bad event count '" + toks[2] + "'");
+      declared = static_cast<std::size_t>(n);
+      saw_header = true;
+      continue;
+    }
+    if (sched.events.size() == declared)
+      fail(line_no, "more events than the header declared (" +
+                        std::to_string(declared) + ")");
+    FaultScheduleEvent e;
+    auto kv = parse_kv(toks, line_no);
+    const std::string& word = toks[0];
+    const auto window = [&](FaultScheduleKind kind, bool has_client,
+                            bool has_rate, bool has_msgs) {
+      e.kind = kind;
+      e.client = has_client ? parse_client(take(kv, "client", line_no), line_no)
+                            : kInvalidClient;
+      e.t0 = parse_double(take(kv, "t0", line_no), line_no, "t0");
+      e.t1 = parse_double(take(kv, "t1", line_no), line_no, "t1");
+      e.rate = has_rate
+                   ? parse_double(take(kv, "rate", line_no), line_no, "rate")
+                   : 1.0;
+      e.msgs = has_msgs
+                   ? fault_msg_class_from_string(take(kv, "msgs", line_no))
+                   : FaultMsgClass::kAll;
+    };
+    const auto point = [&](FaultScheduleKind kind, bool has_msgs) {
+      e.kind = kind;
+      e.client = parse_client(take(kv, "client", line_no), line_no);
+      e.t0 = parse_double(take(kv, "t", line_no), line_no, "t");
+      e.t1 = e.t0;
+      e.msgs = has_msgs
+                   ? fault_msg_class_from_string(take(kv, "msgs", line_no))
+                   : FaultMsgClass::kAll;
+    };
+    if (word == "loss") {
+      window(FaultScheduleKind::kLossWindow, true, true, true);
+    } else if (word == "outage") {
+      window(FaultScheduleKind::kOutage, false, false, false);
+    } else if (word == "crash") {
+      window(FaultScheduleKind::kServerCrash, false, false, false);
+    } else if (word == "corrupt") {
+      window(FaultScheduleKind::kCorruptWindow, true, true, false);
+    } else if (word == "disconnect") {
+      window(FaultScheduleKind::kDisconnect, true, false, false);
+    } else if (word == "drop") {
+      point(FaultScheduleKind::kDropPoint, true);
+    } else if (word == "updrop") {
+      point(FaultScheduleKind::kUplinkDropPoint, false);
+      if (const auto it = kv.find("n"); it != kv.end()) {
+        const std::string& s = it->second;
+        errno = 0;
+        char* end = nullptr;
+        const unsigned long n = std::strtoul(s.c_str(), &end, 10);
+        if (s.empty() || s[0] == '-' || end == s.c_str() || *end != '\0' ||
+            errno == ERANGE || n > 0xfffffffful)
+          fail(line_no, "bad ordinal n: '" + s + "'");
+        e.ordinal = static_cast<std::uint32_t>(n);
+        kv.erase(it);
+      }
+    } else if (word == "corruptat") {
+      point(FaultScheduleKind::kCorruptPoint, false);
+    } else {
+      fail(line_no, "unknown event kind '" + word + "'");
+    }
+    if (!kv.empty()) fail(line_no, "unknown key '" + kv.begin()->first + "'");
+    sched.events.push_back(e);
+  }
+  if (!saw_header)
+    throw std::invalid_argument("fault schedule: empty input (missing header)");
+  if (sched.events.size() != declared)
+    throw std::invalid_argument(
+        "fault schedule: truncated — header declares " +
+        std::to_string(declared) + " events, found " +
+        std::to_string(sched.events.size()));
+  sched.validate();
+  return sched;
+}
+
+FaultSchedule FaultSchedule::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::invalid_argument("fault schedule: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+void FaultSchedule::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out)
+    throw std::invalid_argument("fault schedule: cannot write '" + path + "'");
+  out << serialize();
+  if (!out)
+    throw std::invalid_argument("fault schedule: write failed for '" + path +
+                                "'");
+}
+
+FaultSchedule FaultSchedule::distill(const std::vector<TraceEvent>& trace,
+                                     double sim_time_s) {
+  // A window still open when the trace ends closes strictly past any replay
+  // of the same horizon (see header comment).
+  const double open_end = 2.0 * sim_time_s + 1.0;
+  FaultSchedule sched;
+  std::map<ClientId, double> down_since;  // open disconnect windows
+  double crash_since = -1.0;              // open crash window (< 0 = none)
+  // Per-client uplink sends at the current instant: a report answering
+  // several misses at once sends more than one request at the same t, and
+  // the timestamp alone can't say which one a drop erased. The MAC traces
+  // kUplinkSend for every send BEFORE the drop check, so counting them
+  // recovers each drop's 0-based ordinal among its instant's sends.
+  struct SendCount {
+    double t = -1.0;
+    std::uint32_t n = 0;
+  };
+  std::map<ClientId, SendCount> uplink_sends;
+  for (const TraceEvent& ev : trace) {
+    const auto kind = static_cast<TraceEventKind>(ev.kind);
+    const auto client = static_cast<ClientId>(ev.client);
+    FaultScheduleEvent e;
+    e.client = client;
+    e.t0 = e.t1 = ev.t;
+    switch (kind) {
+      case TraceEventKind::kFaultDownlinkDrop:
+        e.kind = FaultScheduleKind::kDropPoint;
+        // `a` carries the MsgKind of the erased frame; 0/1 are the report
+        // kinds (kInvalidationReport / kMiniReport).
+        e.msgs = ev.a <= 1.0f ? FaultMsgClass::kReport : FaultMsgClass::kData;
+        sched.events.push_back(e);
+        break;
+      case TraceEventKind::kUplinkSend: {
+        SendCount& sc = uplink_sends[client];
+        if (sc.t == ev.t)
+          ++sc.n;
+        else
+          sc = {ev.t, 1};
+        break;
+      }
+      case TraceEventKind::kFaultUplinkDrop: {
+        e.kind = FaultScheduleKind::kUplinkDropPoint;
+        // The dropped send's own kUplinkSend was already counted above.
+        const auto it = uplink_sends.find(client);
+        if (it != uplink_sends.end() && it->second.t == ev.t &&
+            it->second.n > 0)
+          e.ordinal = it->second.n - 1;
+        sched.events.push_back(e);
+        break;
+      }
+      case TraceEventKind::kFaultCorrupt:
+        e.kind = FaultScheduleKind::kCorruptPoint;
+        sched.events.push_back(e);
+        break;
+      case TraceEventKind::kChurnDisconnect:
+        down_since[client] = ev.t;
+        break;
+      case TraceEventKind::kChurnRejoin: {
+        auto it = down_since.find(client);
+        if (it == down_since.end()) break;  // rejoin with no recorded start
+        e.kind = FaultScheduleKind::kDisconnect;
+        e.t0 = it->second;
+        e.t1 = ev.t;
+        down_since.erase(it);
+        sched.events.push_back(e);
+        break;
+      }
+      case TraceEventKind::kServerCrash:
+        crash_since = ev.t;
+        break;
+      case TraceEventKind::kServerRecover:
+        if (crash_since < 0.0) break;
+        e.kind = FaultScheduleKind::kServerCrash;
+        e.client = kInvalidClient;
+        e.t0 = crash_since;
+        e.t1 = ev.t;
+        crash_since = -1.0;
+        sched.events.push_back(e);
+        break;
+      default:
+        break;
+    }
+  }
+  for (const auto& [client, t0] : down_since) {
+    FaultScheduleEvent e;
+    e.kind = FaultScheduleKind::kDisconnect;
+    e.client = client;
+    e.t0 = t0;
+    e.t1 = open_end;
+    sched.events.push_back(e);
+  }
+  if (crash_since >= 0.0) {
+    FaultScheduleEvent e;
+    e.kind = FaultScheduleKind::kServerCrash;
+    e.t0 = crash_since;
+    e.t1 = open_end;
+    sched.events.push_back(e);
+  }
+  std::stable_sort(
+      sched.events.begin(), sched.events.end(),
+      [](const FaultScheduleEvent& a, const FaultScheduleEvent& b) {
+        return a.t0 < b.t0;
+      });
+  sched.validate();
+  return sched;
+}
+
+}  // namespace wdc

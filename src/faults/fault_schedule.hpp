@@ -1,0 +1,150 @@
+#ifndef WDC_FAULTS_FAULT_SCHEDULE_HPP
+#define WDC_FAULTS_FAULT_SCHEDULE_HPP
+
+/// @file fault_schedule.hpp
+/// Deterministic, file-scripted incident timelines for the fault injector.
+///
+/// A FaultSchedule is a sorted list of scripted fault events — the replayable
+/// complement to the injector's randomized axes (fault_config.hpp). Where the
+/// random axes answer "how does protocol X degrade under p% loss on average",
+/// a schedule answers "what happens in *this* incident, every time": a
+/// specific blackout, a base-station restart, a server crash, a byzantine
+/// corruption burst — observed once (in a `.wdct` trace or a live system),
+/// distilled, and replayed forever as a regression test.
+///
+/// Like FaultConfig, this module is compiled unconditionally (pure data +
+/// text I/O, no simulator dependency) so scenario files parse identically in
+/// stripped (-DWDC_FAULTS=OFF) builds; only the injector that *acts* on a
+/// schedule is compile-time gated.
+///
+/// ## File format (`.wdcsched`)
+///
+/// Line-oriented text. First non-comment line is the header
+///
+///     wdcsched v1 <count>
+///
+/// where <count> is the number of event lines that must follow — a truncated
+/// file is rejected, mirroring the report codec's strictness. Each event line
+/// is a kind word followed by `key=value` tokens; `#` starts a comment; blank
+/// lines are ignored. Events must be sorted by non-decreasing start time.
+/// Times are seconds; doubles serialize with %.17g so parse→serialize→parse
+/// is bit-exact.
+///
+///     loss       client=<id|all> t0=<s> t1=<s> rate=<p> msgs=<report|data|all>
+///     outage     t0=<s> t1=<s>             # cell-wide: all clients, rate 1
+///     crash      t0=<s> t1=<s>             # server down, recovery at t1
+///     corrupt    client=<id|all> t0=<s> t1=<s> rate=<p>
+///     disconnect client=<id> t0=<s> t1=<s>
+///     drop       client=<id> t=<s> msgs=<report|data>   # one exact reception
+///     updrop     client=<id> t=<s> [n=<k>]              # one exact request
+///     corruptat  client=<id> t=<s>                      # one exact corruption
+///
+/// Windows are half-open [t0, t1). Point events match one hook call at
+/// exactly `t` (bit-equal doubles — distillation writes the trace's own
+/// timestamps back, and %.17g round-trips them losslessly); a point whose
+/// time passes unmatched is counted in FaultStats::schedule_misses.
+///
+/// `updrop` carries an optional ordinal `n` (default 0): one client can send
+/// several uplink requests in the SAME simulation instant (a report answering
+/// multiple pending misses at once), and the timestamp alone cannot say which
+/// of them was lost. `n=k` matches the k-th send (0-based) of that client at
+/// exactly `t`. Downlink receptions serialize through the broadcast MAC's
+/// airtime, so drop/corruptat points never need one.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace_event.hpp"
+#include "util/types.hpp"
+
+namespace wdc {
+
+/// What a scripted event does. Window kinds span [t0, t1); point kinds fire
+/// on the single hook call at exactly t0 (t1 == t0).
+enum class FaultScheduleKind : std::uint8_t {
+  kLossWindow,     ///< "loss": downlink receptions erased at `rate`
+  kOutage,         ///< "outage": cell-wide blackout — every client, rate 1
+  kServerCrash,    ///< "crash": server down t0..t1, report-log replay at t1
+  kCorruptWindow,  ///< "corrupt": report frames corrupted at `rate`
+  kDisconnect,     ///< "disconnect": scripted churn window for one client
+  kDropPoint,      ///< "drop": erase the one reception at exactly t
+  kUplinkDropPoint,   ///< "updrop": drop the one uplink request at exactly t
+  kCorruptPoint,      ///< "corruptat": corrupt the one reception at exactly t
+};
+
+/// Which message kinds a loss window / drop point applies to.
+enum class FaultMsgClass : std::uint8_t {
+  kReport,  ///< invalidation + mini reports
+  kData,    ///< item / data / control frames
+  kAll,
+};
+
+FaultMsgClass fault_msg_class_from_string(const std::string& name);
+std::string to_string(FaultMsgClass m);
+
+/// One scripted event. `client == kInvalidClient` means "all clients" (only
+/// meaningful for loss/corrupt windows; outage is implicitly all-clients).
+struct FaultScheduleEvent {
+  FaultScheduleKind kind = FaultScheduleKind::kLossWindow;
+  ClientId client = kInvalidClient;
+  SimTime t0 = 0.0;
+  SimTime t1 = 0.0;                         ///< == t0 for point events
+  double rate = 1.0;                        ///< window drop/corrupt probability
+  FaultMsgClass msgs = FaultMsgClass::kAll;
+  /// kUplinkDropPoint only: which of the client's same-instant sends to drop
+  /// (0-based). Zero for every other kind.
+  std::uint32_t ordinal = 0;
+
+  bool is_point() const {
+    return kind == FaultScheduleKind::kDropPoint ||
+           kind == FaultScheduleKind::kUplinkDropPoint ||
+           kind == FaultScheduleKind::kCorruptPoint;
+  }
+  bool is_window() const { return !is_point(); }
+
+  friend bool operator==(const FaultScheduleEvent&,
+                         const FaultScheduleEvent&) = default;
+};
+
+/// A validated, time-sorted scripted incident.
+struct FaultSchedule {
+  std::vector<FaultScheduleEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Structural sanity; throws std::invalid_argument with a one-line reason:
+  /// non-finite or negative times, t1 < t0, rate outside [0, 1], events out
+  /// of t0 order, overlapping outage windows, overlapping crash windows, or
+  /// overlapping disconnect windows for the same client.
+  void validate() const;
+
+  /// Canonical text form (always full key=value, %.17g doubles). The result
+  /// parses back to an equal schedule, bit-for-bit.
+  std::string serialize() const;
+
+  /// Parse the text format; throws std::invalid_argument on malformed input
+  /// (bad header, unknown event kind, unknown/missing/duplicate key, garbage
+  /// or non-finite number, count mismatch / truncation). The parsed schedule
+  /// is also validate()d.
+  static FaultSchedule parse(const std::string& text);
+
+  static FaultSchedule load_file(const std::string& path);
+  void save_file(const std::string& path) const;
+
+  /// Distill the fault events of an observed trace into a schedule whose
+  /// replay reproduces the same fault sequence deterministically — drops and
+  /// corruptions become point events carrying the trace's own timestamps;
+  /// churn disconnect/rejoin pairs and server crash/recover pairs become
+  /// windows. A window still open at the end of the trace is closed at
+  /// 2·sim_time_s + 1 so its closing edge can never fire inside a replay of
+  /// the same horizon (an event at exactly t == sim_time would still run).
+  static FaultSchedule distill(const std::vector<TraceEvent>& trace,
+                               double sim_time_s);
+
+  friend bool operator==(const FaultSchedule&, const FaultSchedule&) = default;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_FAULTS_FAULT_SCHEDULE_HPP

@@ -19,6 +19,7 @@ void ClientNc::on_query(ItemId item) {
 // ---------------------------------------------------------------------- PER --
 
 void ServerPer::on_poll(ClientId from, ItemId item, Version version) {
+  if (crash_suppress()) return;  // unanswered poll; the client's timer re-asks
   ++polls_;
   const bool valid = db_.version(item) == version;
   if (valid) ++poll_hits_;

@@ -8,6 +8,7 @@ void ServerBs::start() {
   const double L = cfg_.ir_interval_s;
   timer_ = std::make_unique<PeriodicTimer>(
       sim_, /*first=*/L, /*period=*/L, [this](std::uint64_t) {
+        if (crash_suppress()) return;
         auto rep = std::make_shared<BsReport>();
         rep->stamp = sim_.now();
         // Boundaries stamp − L·2^(levels−1) … stamp − L, ascending (oldest first).

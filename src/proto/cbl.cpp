@@ -30,6 +30,7 @@ void ServerCbl::prune(ItemId item, SimTime now) {
 }
 
 void ServerCbl::on_request(ClientId from, ItemId item) {
+  if (crash_suppress()) return;  // down: no lease granted, no broadcast
   prune(item, sim_.now());
   auto& holders = leases_[item];
   const auto [it, inserted] =
@@ -59,6 +60,10 @@ void ServerCbl::on_update(ItemId item, SimTime when) {
   // then switch to an ordered view in the same PR.
   // wdc-lint: allow(ordered-iteration)
   for (const auto& [client, expiry] : it->second) {
+    // A crashed server still revokes leases (its own bookkeeping survives the
+    // restart) but cannot notify the holders — CBL's best-effort consistency
+    // degrades exactly here, and every unsent notice is counted.
+    if (crash_suppress()) continue;
     auto notice = std::make_shared<InvalidateNotice>();
     notice->item = item;
     notice->update_time = when;

@@ -1,8 +1,12 @@
 #include "proto/client_base.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
 
 #include "faults/fault_injector.hpp"
+#include "proto/report_codec.hpp"
 #include "util/check.hpp"
 
 namespace wdc {
@@ -168,29 +172,16 @@ void ClientProtocol::on_reception(const Reception& rx) {
     if (is_report) sink_.record_report_missed();
     return;
   }
+  if (is_report && faults_ != nullptr && faults_->enabled() &&
+      faults_->corrupt_downlink(id_, rx.msg.kind, sim_.now())) {
+    byzantine_reception(rx);
+    return;
+  }
   switch (rx.msg.kind) {
-    case MsgKind::kInvalidationReport: {
-      if (auto full = std::dynamic_pointer_cast<const FullReport>(rx.msg.payload)) {
-        sink_.record_report_heard();
-        handle_full(*full);
-      } else if (auto sig =
-                     std::dynamic_pointer_cast<const SigReport>(rx.msg.payload)) {
-        sink_.record_report_heard();
-        handle_sig(*sig);
-      } else if (auto bs =
-                     std::dynamic_pointer_cast<const BsReport>(rx.msg.payload)) {
-        sink_.record_report_heard();
-        handle_bs(*bs);
-      }
+    case MsgKind::kInvalidationReport:
+    case MsgKind::kMiniReport:
+      dispatch_report(rx.msg);
       break;
-    }
-    case MsgKind::kMiniReport: {
-      if (auto mini = std::dynamic_pointer_cast<const MiniReport>(rx.msg.payload)) {
-        sink_.record_report_heard();
-        handle_mini(*mini);
-      }
-      break;
-    }
     case MsgKind::kControl:
       if (rx.msg.dest == id_) handle_control(rx.msg);
       break;
@@ -201,6 +192,86 @@ void ClientProtocol::on_reception(const Reception& rx) {
       handle_data(rx.msg);
       break;
   }
+}
+
+void ClientProtocol::dispatch_report(const Message& msg) {
+  if (msg.kind == MsgKind::kInvalidationReport) {
+    if (auto full = std::dynamic_pointer_cast<const FullReport>(msg.payload)) {
+      sink_.record_report_heard();
+      handle_full(*full);
+    } else if (auto sig =
+                   std::dynamic_pointer_cast<const SigReport>(msg.payload)) {
+      sink_.record_report_heard();
+      handle_sig(*sig);
+    } else if (auto bs =
+                   std::dynamic_pointer_cast<const BsReport>(msg.payload)) {
+      sink_.record_report_heard();
+      handle_bs(*bs);
+    }
+  } else if (msg.kind == MsgKind::kMiniReport) {
+    if (auto mini = std::dynamic_pointer_cast<const MiniReport>(msg.payload)) {
+      sink_.record_report_heard();
+      handle_mini(*mini);
+    }
+  }
+}
+
+void ClientProtocol::byzantine_reception(const Reception& rx) {
+  // Re-encode the payload through the wire codec so the damage hits real
+  // frame bytes, not in-process object state.
+  std::vector<std::uint8_t> bytes;
+  if (auto full = std::dynamic_pointer_cast<const FullReport>(rx.msg.payload))
+    bytes = encode_report(*full);
+  else if (auto mini =
+               std::dynamic_pointer_cast<const MiniReport>(rx.msg.payload))
+    bytes = encode_report(*mini);
+  else if (auto sig =
+               std::dynamic_pointer_cast<const SigReport>(rx.msg.payload))
+    bytes = encode_report(*sig);
+  else if (auto bs = std::dynamic_pointer_cast<const BsReport>(rx.msg.payload))
+    bytes = encode_report(*bs);
+  bool accepted = false;
+  DecodedReport repaired;
+  if (!bytes.empty()) {
+    // Flip three bits at positions hashed purely from (time, client, kind):
+    // no RNG is consumed, so a replayed schedule damages the same frame the
+    // same way, bit-identically.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 0x100000001b3ull;
+      }
+    };
+    mix(std::bit_cast<std::uint64_t>(sim_.now()));
+    mix(static_cast<std::uint64_t>(id_));
+    mix(static_cast<std::uint64_t>(rx.msg.kind));
+    const std::size_t nbits = bytes.size() * 8;
+    for (int flip = 0; flip < 3; ++flip) {
+      const std::size_t pos = static_cast<std::size_t>(h % nbits);
+      bytes[pos / 8] ^= static_cast<std::uint8_t>(1u << (pos % 8));
+      h = h * 0x100000001b3ull + 0x9e3779b97f4a7c15ull;
+    }
+    // End-to-end judgment: the codec's own validation (structure + checksum)
+    // decides whether the corruption is caught.
+    accepted = decode_report(bytes.data(), bytes.size(), &repaired);
+  }
+  if (faults_ != nullptr) faults_->record_corrupt(accepted);
+  auto& tr = sim_.trace();
+  if (tr.enabled())
+    tr.emit(TraceEventKind::kFaultCorrupt, sim_.now(), id_, rx.msg.item,
+            static_cast<double>(rx.msg.kind), accepted ? 1.0 : 0.0);
+  if (!accepted) {
+    // Caught ⇒ the reception degrades to an erasure, indistinguishable from a
+    // decode failure at the PHY.
+    sink_.record_report_missed();
+    return;
+  }
+  // The damaged frame still decoded (the corrupt_accepted canary counts it):
+  // deliver whatever survived validation, as a real system would.
+  Message repaired_msg = rx.msg;
+  repaired_msg.payload = repaired.payload;
+  dispatch_report(repaired_msg);
 }
 
 void ClientProtocol::handle_item(const Message& msg, double airtime_s) {

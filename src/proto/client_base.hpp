@@ -174,6 +174,12 @@ class ClientProtocol {
 
  private:
   void on_reception(const Reception& rx);
+  /// Route a decoded report payload to the handle_* overrides.
+  void dispatch_report(const Message& msg);
+  /// Byzantine mode: re-encode the report through the wire codec, damage it
+  /// deterministically, and let decode_report judge the result end-to-end —
+  /// rejection degrades to an erasure, acceptance delivers what decoded.
+  void byzantine_reception(const Reception& rx);
   void handle_item(const Message& msg, double airtime_s);
   void handle_data(const Message& msg);
   /// Answer pending queries decidable at the current consistency point.

@@ -9,6 +9,16 @@ namespace {
 constexpr std::uint8_t kMagic0 = 'W';
 constexpr std::uint8_t kMagic1 = 'R';
 
+/// FNV-1a over the frame image — the v2 trailing checksum.
+std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
 // --- encoding -------------------------------------------------------------
 
 class ByteWriter {
@@ -21,7 +31,12 @@ class ByteWriter {
 
   void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
 
-  std::vector<std::uint8_t> take() { return std::move(buf_); }
+  /// Seal the frame: append the checksum of everything written so far, then
+  /// hand the buffer over.
+  std::vector<std::uint8_t> take() {
+    u32(fnv1a32(buf_.data(), buf_.size()));
+    return std::move(buf_);
+  }
 
  private:
   void raw(const void* p, std::size_t n) {
@@ -272,6 +287,12 @@ bool decode_report(const std::uint8_t* data, std::size_t size,
   const auto wire_kind = static_cast<ReportWireKind>(kind);
   auto payload = decode_body(r, wire_kind);
   if (payload == nullptr) return set_error(r.error());
+  // The checksum seals everything before it: header + body, but not any
+  // trailing garbage (which the strictness check below still rejects).
+  const std::size_t sealed = size - r.remaining();
+  std::uint32_t expect = 0;
+  if (!r.u32(&expect, "checksum")) return set_error(r.error());
+  if (expect != fnv1a32(data, sealed)) return set_error("checksum mismatch");
   if (r.remaining() != 0)
     return set_error(std::to_string(r.remaining()) + " trailing bytes");
   out->kind = wire_kind;

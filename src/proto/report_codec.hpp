@@ -9,13 +9,20 @@
 /// tooling, future record/replay, test fixtures). Layout, native-endian like
 /// the .wdct trace format (machine-local, not interchange):
 ///
-///   'W' 'R'  version:u8  kind:u8  <kind-specific fields>
+///   'W' 'R'  version:u8  kind:u8  <kind-specific fields>  checksum:u32
 ///
 /// Variable-length lists are u32-count-prefixed; the decoder rejects any count
 /// whose entries could not fit in the remaining bytes BEFORE allocating, so a
 /// flipped length byte cannot balloon memory. Every read is bounds-checked and
 /// trailing bytes are an error — corrupt input fails cleanly with a reason,
 /// never UB (the fuzz-style tests in tests/proto hammer exactly this).
+///
+/// Version 2 seals every frame with a trailing FNV-1a-32 checksum over all
+/// preceding bytes, verified after the body parses and before the
+/// trailing-byte check. The structural checks above catch corruption that
+/// breaks the *shape* of a frame; the checksum deterministically catches the
+/// damage that doesn't — a flipped timestamp bit, a swapped item id — which
+/// is exactly what the fault layer's byzantine mode injects in-protocol.
 
 #include <cstddef>
 #include <cstdint>
@@ -27,7 +34,7 @@
 
 namespace wdc {
 
-inline constexpr std::uint8_t kReportCodecVersion = 1;
+inline constexpr std::uint8_t kReportCodecVersion = 2;
 
 /// Wire discriminator of the encoded payload type.
 enum class ReportWireKind : std::uint8_t {
@@ -54,7 +61,8 @@ struct DecodedReport {
 
 /// Decode one encoded report. Returns false (and sets *error when non-null)
 /// on any structural defect: short buffer, bad magic/version/kind, list that
-/// overruns the buffer, non-finite timestamp, or trailing bytes.
+/// overruns the buffer, non-finite timestamp, checksum mismatch, or trailing
+/// bytes.
 bool decode_report(const std::uint8_t* data, std::size_t size,
                    DecodedReport* out, std::string* error = nullptr);
 

@@ -15,6 +15,7 @@ ServerProtocol::ServerProtocol(Simulator& sim, BroadcastMac& mac, Database& db,
 }
 
 void ServerProtocol::on_request(ClientId from, ItemId item) {
+  if (crash_suppress()) return;  // a dead server hears nothing
   auto& tr = sim_.trace();
   if (tr.enabled())
     tr.emit(TraceEventKind::kUplinkDeliver, sim_.now(), from, item);
@@ -39,6 +40,7 @@ void ServerProtocol::on_request(ClientId from, ItemId item) {
 }
 
 void ServerProtocol::on_downlink_frame(const TrafficFrame& frame) {
+  if (crash_suppress()) return;
   auto payload = std::make_shared<DataPayload>();
   Message msg;
   msg.kind = MsgKind::kDownlinkData;
@@ -107,7 +109,30 @@ std::shared_ptr<const PiggyDigest> ServerProtocol::build_digest() const {
   return digest;
 }
 
+bool ServerProtocol::crash_suppress() {
+  if (!down_) return false;
+  ++crash_suppressed_;
+  return true;
+}
+
+void ServerProtocol::on_server_state(bool down) {
+  WDC_ASSERT(down != down_, "server crash/recovery edge repeated: down=", down);
+  down_ = down;
+  if (down) {
+    crash_start_ = sim_.now();
+    return;
+  }
+  // Report-log replay: the database is the log (it keeps every update time),
+  // so recovery is one full report spanning the outage plus the normal
+  // reporting window. Clients that slept through less than that see full
+  // window coverage and recover without a Barbara–Imielinski cache drop.
+  const double window =
+      (sim_.now() - crash_start_) + cfg_.window_mult * cfg_.ir_interval_s;
+  enqueue_full_report(build_full_report(window));
+}
+
 void ServerProtocol::enqueue_full_report(std::shared_ptr<const FullReport> report) {
+  if (crash_suppress()) return;
   Message msg;
   msg.kind = MsgKind::kInvalidationReport;
   msg.bits = report->wire_bits(cfg_);
@@ -117,6 +142,7 @@ void ServerProtocol::enqueue_full_report(std::shared_ptr<const FullReport> repor
 }
 
 void ServerProtocol::enqueue_mini_report(std::shared_ptr<const MiniReport> report) {
+  if (crash_suppress()) return;
   Message msg;
   msg.kind = MsgKind::kMiniReport;
   msg.bits = report->wire_bits(cfg_);

@@ -43,6 +43,13 @@ class ServerProtocol {
   /// customise via decorate_data() (PIG/HYB attach a digest there).
   void on_downlink_frame(const TrafficFrame& frame);
 
+  /// Scripted server crash/recovery edge from the fault layer. While down the
+  /// server answers nothing and sends nothing (every suppressed action is
+  /// counted); on recovery it replays its report log as one full report whose
+  /// window spans the entire outage plus the normal reporting window, so
+  /// surviving clients' window-coverage checks find no gap.
+  void on_server_state(bool down);
+
   // --- accounting ---
   std::uint64_t reports_sent() const { return reports_sent_; }
   std::uint64_t minis_sent() const { return minis_sent_; }
@@ -52,6 +59,7 @@ class ServerProtocol {
   std::uint64_t digest_frames() const { return digest_frames_; }
   double lair_deferral_s() const { return lair_deferral_s_; }
   std::uint64_t lair_deferred() const { return lair_deferred_; }
+  std::uint64_t crash_suppressed() const { return crash_suppressed_; }
 
   const ProtoConfig& config() const { return cfg_; }
 
@@ -65,6 +73,14 @@ class ServerProtocol {
 
   void enqueue_full_report(std::shared_ptr<const FullReport> report);
   void enqueue_mini_report(std::shared_ptr<const MiniReport> report);
+
+  /// True while the server is scripted down. Subclasses with their own MAC
+  /// enqueue sites (SIG/BS timers, CBL notices, PER poll acks) must gate them
+  /// on crash_suppress() — the central enqueue/request paths already do.
+  bool crashed() const { return down_; }
+  /// Counted suppression gate: returns true (and records the suppression)
+  /// exactly when the server is down.
+  bool crash_suppress();
 
   /// Hooks to extend outgoing item broadcasts / data frames (e.g. with digests).
   /// Default: no-op. Implementations adjusting payload size must also grow
@@ -94,6 +110,9 @@ class ServerProtocol {
 
  private:
   std::unordered_set<ItemId> pending_broadcast_;
+  bool down_ = false;
+  SimTime crash_start_ = 0.0;
+  std::uint64_t crash_suppressed_ = 0;
 };
 
 }  // namespace wdc

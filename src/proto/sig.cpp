@@ -8,6 +8,7 @@ void ServerSig::start() {
   const double L = cfg_.ir_interval_s;
   timer_ = std::make_unique<PeriodicTimer>(
       sim_, /*first=*/L, /*period=*/L, [this](std::uint64_t) {
+        if (crash_suppress()) return;
         auto rep = std::make_shared<SigReport>();
         rep->stamp = sim_.now();
         rep->window_start = sim_.now() - cfg_.sig_window_mult * cfg_.ir_interval_s;

@@ -24,6 +24,9 @@ const char* to_string(TraceEventKind k) {
     case TraceEventKind::kChurnDisconnect: return "CHURN_DISCONNECT";
     case TraceEventKind::kChurnRejoin: return "CHURN_REJOIN";
     case TraceEventKind::kRecovery: return "RECOVERY";
+    case TraceEventKind::kFaultCorrupt: return "FAULT_CORRUPT";
+    case TraceEventKind::kServerCrash: return "SERVER_CRASH";
+    case TraceEventKind::kServerRecover: return "SERVER_RECOVER";
   }
   return "?";
 }

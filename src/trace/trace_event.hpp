@@ -44,8 +44,13 @@ enum class TraceEventKind : std::uint8_t {
   kChurnRejoin = 18,        ///< churned client reconnected
   kRecovery = 19,           ///< consistency re-established after a rejoin
                             ///< (a = recovery seconds, b = exposed entries)
+  // Incident-replay kinds (scripted FaultSchedule + byzantine corruption).
+  kFaultCorrupt = 20,       ///< report frame corrupted in flight (a = MsgKind,
+                            ///< b = 1 if the codec accepted the damaged frame)
+  kServerCrash = 21,        ///< scripted server crash edge (server down)
+  kServerRecover = 22,      ///< server back up; report-log replay broadcast
 };
-inline constexpr std::size_t kNumTraceEventKinds = 20;
+inline constexpr std::size_t kNumTraceEventKinds = 23;
 
 const char* to_string(TraceEventKind k);
 

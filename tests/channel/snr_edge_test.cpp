@@ -1,0 +1,109 @@
+/// Edge cases of the block SNR path (fill_snr_db / SnrTrajectory), typed over
+/// both fader generations: zero-length blocks are true no-ops (no crash, no
+/// state perturbation), single-sample blocks equal the pointwise call, and a
+/// block spanning the shadowing decorrelation boundary stays bit-identical
+/// to the pointwise loop — the boundary is where the OU shadowing state
+/// advances mid-block, the one place a block kernel could drift from the
+/// per-sample path.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "channel/snr_process.hpp"
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+constexpr double kMeanSnrDb = 18.0;
+constexpr double kDopplerHz = 9.0;
+constexpr double kShadowSigmaDb = 4.0;
+constexpr double kShadowDecorrS = 2.0;  // boundary every 2 s
+
+class SnrBlockEdge : public ::testing::TestWithParam<ChannelVersion> {
+ protected:
+  /// Twin processes built from identical seeds: mutate one, compare against
+  /// the other.
+  static RayleighSnr make(std::uint64_t seed, ChannelVersion v) {
+    Rng rng(seed);
+    return RayleighSnr(kMeanSnrDb, kDopplerHz, kShadowSigmaDb, kShadowDecorrS,
+                       rng, /*oscillators=*/16, v);
+  }
+};
+
+TEST_P(SnrBlockEdge, ZeroLengthBlockIsANoOp) {
+  RayleighSnr probed = make(42, GetParam());
+  RayleighSnr twin = make(42, GetParam());
+
+  // Must not crash, must not write, must not advance any internal state.
+  double canary = 123.5;
+  probed.fill_snr_db(0.7, 0.01, 0, &canary);
+  probed.fill_snr_db(1.4, 0.01, 0, nullptr);  // count == 0: out is never read
+  EXPECT_EQ(canary, 123.5);
+
+  // Identical futures: the zero-length calls consumed nothing.
+  for (double t : {1.5, 2.25, 3.0, 7.75})
+    EXPECT_EQ(probed.snr_db(t), twin.snr_db(t)) << "diverged at t=" << t;
+}
+
+TEST_P(SnrBlockEdge, SingleSampleBlockEqualsPointwiseCall) {
+  RayleighSnr block = make(7, GetParam());
+  RayleighSnr pointwise = make(7, GetParam());
+  double out = 0.0;
+  block.fill_snr_db(0.325, 0.01, 1, &out);
+  EXPECT_EQ(out, pointwise.snr_db(0.325));
+}
+
+TEST_P(SnrBlockEdge, BlockSpanningShadowingDecorrelationBoundary) {
+  RayleighSnr block = make(99, GetParam());
+  RayleighSnr pointwise = make(99, GetParam());
+
+  // 1.9 .. 2.3 s in 10 ms steps: crosses the 2 s decorrelation boundary where
+  // the OU shadowing state advances mid-block.
+  const double t0 = 1.9, dt = 0.01;
+  const std::size_t count = 41;
+  std::vector<double> blocked(count);
+  block.fill_snr_db(t0, dt, count, blocked.data());
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = t0 + dt * static_cast<double>(i);
+    EXPECT_EQ(blocked[i], pointwise.snr_db(t))
+        << "block and pointwise paths diverged at sample " << i;
+  }
+}
+
+TEST_P(SnrBlockEdge, TrajectoryEdgeSizes) {
+  {
+    RayleighSnr proc = make(11, GetParam());
+    const SnrTrajectory empty(proc, 0.5, 0.01, 0);
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_EQ(empty.t0(), 0.5);
+    EXPECT_EQ(empty.dt(), 0.01);
+  }
+  {
+    RayleighSnr proc = make(11, GetParam());
+    RayleighSnr twin = make(11, GetParam());
+    const SnrTrajectory one(proc, 0.5, 0.01, 1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one.time_at(0), 0.5);
+    EXPECT_EQ(one.snr_db_at(0), twin.snr_db(0.5));
+  }
+}
+
+TEST_P(SnrBlockEdge, TrajectorySpanningBoundaryMatchesPointwise) {
+  RayleighSnr proc = make(5, GetParam());
+  RayleighSnr twin = make(5, GetParam());
+  const SnrTrajectory traj(proc, 1.95, 0.025, 8);  // 1.95 .. 2.125 s
+  for (std::size_t i = 0; i < traj.size(); ++i)
+    EXPECT_EQ(traj.snr_db_at(i), twin.snr_db(traj.time_at(i)));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGenerations, SnrBlockEdge,
+                         ::testing::Values(ChannelVersion::kJakesV1,
+                                           ChannelVersion::kJakesV2),
+                         [](const ::testing::TestParamInfo<ChannelVersion>& i) {
+                           return to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,131 @@
+/// Record → distill → replay: the end-to-end contract of the incident-replay
+/// subsystem. A randomized-fault run is traced; FaultSchedule::distill turns
+/// the observed fault events into a schedule; replaying that schedule with
+/// every random axis OFF must reproduce the run bit-identically — the same
+/// metrics digest and the exact same fault event sequence, with zero
+/// scripted points left unmatched. This is what makes a one-off incident
+/// (observed once, in a trace) a permanent regression test.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/digest.hpp"
+#include "engine/simulation.hpp"
+#include "faults/fault_injector.hpp"
+#include "golden_table.hpp"
+#include "trace/trace_io.hpp"
+
+namespace wdc {
+namespace {
+
+#if WDC_FAULTS_ENABLED
+
+bool is_fault_kind(std::uint8_t kind) {
+  return kind >= static_cast<std::uint8_t>(TraceEventKind::kFaultDownlinkDrop);
+}
+
+/// The fault-layer subsequence of a trace, bitwise-comparable.
+std::vector<TraceEvent> fault_events(const std::string& path) {
+  TraceFile tf;
+  std::string error;
+  EXPECT_TRUE(read_trace_file(path, &tf, &error)) << error;
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& ev : tf.events)
+    if (is_fault_kind(ev.kind)) out.push_back(ev);
+  return out;
+}
+
+bool bitwise_equal(const TraceEvent& a, const TraceEvent& b) {
+  return a.t == b.t && a.a == b.a && a.b == b.b && a.c == b.c && a.d == b.d &&
+         a.item == b.item && a.client == b.client && a.kind == b.kind &&
+         a.flags == b.flags;
+}
+
+TEST(ReplayDistill, RandomizedRunReplaysBitIdentically) {
+  const std::string dir = ::testing::TempDir();
+  const std::string recorded_wdct = dir + "wdc_distill_recorded.wdct";
+  const std::string replayed_wdct = dir + "wdc_distill_replayed.wdct";
+  const std::string sched_path = dir + "wdc_distill.wdcsched";
+
+  // --- record: random loss + uplink drops + churn, plus a scripted
+  // byzantine window so the distilled schedule carries corruption points.
+  Scenario rec = golden_scenario(ProtocolKind::kTs);
+  rec.faults.enabled = true;
+  rec.faults.ir_loss = 0.3;
+  rec.faults.bcast_loss = 0.1;
+  rec.faults.uplink_drop = 0.2;
+  rec.faults.churn_rate = 0.005;
+  rec.faults.churn_mean_down_s = 20.0;
+  rec.faults.rejoin = RejoinPolicy::kSuspect;
+  rec.faults.schedule = FaultSchedule::parse(
+      "wdcsched v1 1\n"
+      "corrupt client=all t0=60 t1=200 rate=0.4\n");
+  rec.trace.enabled = true;
+  rec.trace.file = recorded_wdct;
+  const Metrics recorded = run_scenario(rec);
+  if (recorded.trace_events == 0) GTEST_SKIP() << "tracing compiled out";
+
+  // The run must have exercised every distillable axis, or the round trip
+  // proves nothing.
+  ASSERT_GT(recorded.fault_ir_drops + recorded.fault_bcast_drops, 0u);
+  ASSERT_GT(recorded.fault_uplink_drops, 0u);
+  ASSERT_GT(recorded.churn_events, 0u);
+  ASSERT_GT(recorded.fault_corrupt_rejected, 0u);
+
+  // --- distill, with a save/load round trip on the way.
+  TraceFile tf;
+  std::string error;
+  ASSERT_TRUE(read_trace_file(recorded_wdct, &tf, &error)) << error;
+  const FaultSchedule distilled =
+      FaultSchedule::distill(tf.events, tf.header.sim_time_s);
+  ASSERT_FALSE(distilled.empty());
+  distilled.save_file(sched_path);
+  const FaultSchedule reloaded = FaultSchedule::load_file(sched_path);
+  EXPECT_EQ(distilled, reloaded)
+      << "distilled schedule does not survive its own file format";
+
+  // --- replay: every random axis off, the schedule alone drives the faults.
+  Scenario rep = golden_scenario(ProtocolKind::kTs);
+  rep.faults.enabled = true;
+  rep.faults.rejoin = RejoinPolicy::kSuspect;
+  rep.faults.schedule = reloaded;
+  rep.trace.enabled = true;
+  rep.trace.file = replayed_wdct;
+  const Metrics replayed = run_scenario(rep);
+
+  EXPECT_EQ(metrics_digest(recorded), metrics_digest(replayed))
+      << "replaying the distilled schedule diverged from the recorded run";
+  EXPECT_EQ(recorded.fault_ir_drops, replayed.fault_ir_drops);
+  EXPECT_EQ(recorded.fault_bcast_drops, replayed.fault_bcast_drops);
+  EXPECT_EQ(recorded.fault_uplink_drops, replayed.fault_uplink_drops);
+  EXPECT_EQ(recorded.churn_events, replayed.churn_events);
+  EXPECT_EQ(recorded.churn_rejoins, replayed.churn_rejoins);
+  EXPECT_EQ(recorded.fault_corrupt_rejected, replayed.fault_corrupt_rejected);
+  EXPECT_EQ(recorded.fault_corrupt_accepted, replayed.fault_corrupt_accepted);
+  EXPECT_EQ(replayed.schedule_misses, 0u)
+      << "a distilled point event never found its hook call";
+
+  // --- the fault event sequences must match bit-for-bit.
+  const std::vector<TraceEvent> a = fault_events(recorded_wdct);
+  const std::vector<TraceEvent> b = fault_events(replayed_wdct);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(bitwise_equal(a[i], b[i]))
+        << "fault event " << i << " diverged: t=" << a[i].t << " vs " << b[i].t
+        << ", kind=" << static_cast<int>(a[i].kind) << " vs "
+        << static_cast<int>(b[i].kind);
+  }
+}
+
+#else  // !WDC_FAULTS_ENABLED
+
+TEST(ReplayDistill, SkippedWhenFaultLayerCompiledOut) {
+  GTEST_SKIP() << "built with -DWDC_FAULTS=OFF";
+}
+
+#endif  // WDC_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace wdc

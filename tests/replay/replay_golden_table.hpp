@@ -1,0 +1,62 @@
+#ifndef WDC_TESTS_REPLAY_REPLAY_GOLDEN_TABLE_HPP
+#define WDC_TESTS_REPLAY_REPLAY_GOLDEN_TABLE_HPP
+
+/// Pinned per-protocol metric digests for the checked-in incident fixtures
+/// (tests/replay/fixtures/*.wdcsched) replayed at the shared golden operating
+/// point (tests/engine/golden_table.hpp). Because a schedule replay consumes
+/// no randomness, these digests are exactly as stable as kGolden — any drift
+/// means the incident no longer reproduces bit-identically.
+///
+/// To re-pin after an INTENTIONAL behaviour change, run replay_tests with
+/// WDC_PRINT_REPLAY=1 and paste the printed tables over the arrays below
+/// (same contract as WDC_PRINT_GOLDEN for kGolden).
+
+#include <cstdint>
+
+#include "golden_table.hpp"
+
+namespace wdc {
+
+/// fixtures/blackout.wdcsched at golden_scenario(p). Pinned 2026-08-08.
+/// kTs == kLair is genuine, not a collision: the blackout's churn window
+/// changes the one report tick where LAIR would have deferred, so LAIR
+/// degenerates to TS bit-for-bit under this incident (0 deferrals).
+constexpr GoldenEntry kReplayBlackout[] = {
+    {ProtocolKind::kTs, 0x478cf75c4328c9c4ull},
+    {ProtocolKind::kAt, 0x903fb23c965baa5aull},
+    {ProtocolKind::kSig, 0x8ede9baf37d8772dull},
+    {ProtocolKind::kUir, 0x54e97ca71f4d6a0cull},
+    {ProtocolKind::kLair, 0x478cf75c4328c9c4ull},
+    {ProtocolKind::kPig, 0xe42442727698ebc8ull},
+    {ProtocolKind::kHyb, 0xe3edd172766a9c55ull},
+    {ProtocolKind::kNc, 0xe77ae560b5bdcc03ull},
+    {ProtocolKind::kPer, 0x969b86c9afd32284ull},
+    {ProtocolKind::kBs, 0x0a38639c3d11f608ull},
+    {ProtocolKind::kCbl, 0xf3609bcee998e0b4ull},
+};
+
+/// fixtures/server_crash.wdcsched at golden_scenario(p). Pinned 2026-08-08.
+constexpr GoldenEntry kReplayServerCrash[] = {
+    {ProtocolKind::kTs, 0x96d5a0ad77f9c5ecull},
+    {ProtocolKind::kAt, 0xfd9b29336bdb22dfull},
+    {ProtocolKind::kSig, 0x75b3d245115a62c8ull},
+    {ProtocolKind::kUir, 0x206f0dff13eb56c1ull},
+    {ProtocolKind::kLair, 0x5f0e80999f586dc0ull},
+    {ProtocolKind::kPig, 0xd5b5ed83eb072b4aull},
+    {ProtocolKind::kHyb, 0x3337a20b2418baefull},
+    {ProtocolKind::kNc, 0x7e07e4dfc41cdfceull},
+    {ProtocolKind::kPer, 0x223e9381db53f019ull},
+    {ProtocolKind::kBs, 0x2b7135ef98dd0c11ull},
+    {ProtocolKind::kCbl, 0x79a0d1763c8e1720ull},
+};
+
+static_assert(sizeof(kReplayBlackout) / sizeof(kReplayBlackout[0]) ==
+                  sizeof(kGolden) / sizeof(kGolden[0]),
+              "replay tables must cover every protocol and baseline");
+static_assert(sizeof(kReplayServerCrash) / sizeof(kReplayServerCrash[0]) ==
+                  sizeof(kGolden) / sizeof(kGolden[0]),
+              "replay tables must cover every protocol and baseline");
+
+}  // namespace wdc
+
+#endif  // WDC_TESTS_REPLAY_REPLAY_GOLDEN_TABLE_HPP

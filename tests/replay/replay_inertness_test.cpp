@@ -1,0 +1,76 @@
+/// Three-way digest-inertness proof for the schedule layer, against the SAME
+/// pinned table the golden tier uses (tests/engine/golden_table.hpp):
+///
+///  1. schedule loaded but the master switch off — every protocol digests
+///     bit-identically to the fault-free pin (runs in ALL builds, including
+///     -DWDC_FAULTS=OFF: FaultSchedule is compiled unconditionally, so the
+///     stripped build parses the same file and must also match the pin —
+///     that run IS the compiled-out leg of the differential);
+///  2. enabled with an explicitly empty schedule — still bit-identical
+///     (indexing zero events arms nothing and draws nothing);
+///  3. enabled with a real schedule — the digest MUST move (the live-hook
+///     leg lives in replay_fixture_test.cpp's DigestIsPinned EXPECT_NE).
+///
+/// Together with the fault tier's existing proofs this pins the contract:
+/// disabled-with-schedule == enabled-empty == compiled-out == kGolden.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/digest.hpp"
+#include "engine/simulation.hpp"
+#include "faults/fault_injector.hpp"
+#include "replay_golden_table.hpp"
+
+namespace wdc {
+namespace {
+
+std::string fixture_path(const char* name) {
+  return std::string(WDC_REPLAY_FIXTURE_DIR) + "/" + name;
+}
+
+class ReplayInertness : public ::testing::TestWithParam<GoldenEntry> {};
+
+TEST_P(ReplayInertness, DisabledLayerIgnoresLoadedSchedule) {
+  const GoldenEntry& expect = GetParam();
+  Scenario s = golden_scenario(expect.protocol);
+  s.faults.schedule =
+      FaultSchedule::load_file(fixture_path("blackout.wdcsched"));
+  s.faults.enabled = false;  // the master switch is the ONLY gate
+  const Metrics m = run_scenario(s);
+  EXPECT_EQ(metrics_digest(m), expect.digest)
+      << to_string(expect.protocol)
+      << ": a loaded-but-disabled schedule perturbed the simulation";
+  EXPECT_EQ(m.fault_ir_drops + m.fault_bcast_drops + m.fault_uplink_drops +
+                m.churn_events + m.fault_corrupt_rejected +
+                m.fault_corrupt_accepted + m.server_crashes +
+                m.crash_suppressed + m.schedule_misses,
+            0u);
+}
+
+#if WDC_FAULTS_ENABLED
+
+TEST_P(ReplayInertness, EnabledWithEmptyScheduleIsStillPinned) {
+  const GoldenEntry& expect = GetParam();
+  Scenario s = golden_scenario(expect.protocol);
+  s.faults.enabled = true;
+  s.faults.backoff_mult = 1.0;
+  ASSERT_TRUE(s.faults.schedule.empty());
+  const Metrics m = run_scenario(s);
+  EXPECT_EQ(metrics_digest(m), expect.digest)
+      << to_string(expect.protocol)
+      << ": an enabled injector with an empty schedule perturbed the "
+         "simulation";
+}
+
+#endif  // WDC_FAULTS_ENABLED
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAndBaselines, ReplayInertness, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenEntry>& tpi) {
+      return to_string(tpi.param.protocol);
+    });
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,130 @@
+/// Schedule misuse is loud, never silent: structural nonsense throws from
+/// validate()/FaultConfig::validate(), and lifecycle misuse (re-arming a
+/// schedule after the simulation started, double-starting the injector)
+/// trips WDC_CHECKs — a skipped scripted event must never just not happen.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "faults/fault_injector.hpp"
+#include "faults/fault_schedule.hpp"
+#include "sim/simulator.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+FaultScheduleEvent outage(double t0, double t1) {
+  FaultScheduleEvent e;
+  e.kind = FaultScheduleKind::kOutage;
+  e.t0 = t0;
+  e.t1 = t1;
+  return e;
+}
+
+FaultScheduleEvent disconnect(ClientId c, double t0, double t1) {
+  FaultScheduleEvent e;
+  e.kind = FaultScheduleKind::kDisconnect;
+  e.client = c;
+  e.t0 = t0;
+  e.t1 = t1;
+  return e;
+}
+
+TEST(ScheduleMisuse, EventBeforeTimeZeroThrows) {
+  FaultSchedule s;
+  s.events.push_back(outage(-0.5, 2.0));
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScheduleMisuse, OverlappingOutageWindowsThrow) {
+  FaultSchedule s;
+  s.events.push_back(outage(10.0, 30.0));
+  s.events.push_back(outage(20.0, 40.0));  // starts inside the first
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScheduleMisuse, OverlappingCrashWindowsThrow) {
+  FaultSchedule s;
+  FaultScheduleEvent a = outage(10.0, 30.0);
+  a.kind = FaultScheduleKind::kServerCrash;
+  FaultScheduleEvent b = outage(25.0, 40.0);
+  b.kind = FaultScheduleKind::kServerCrash;
+  s.events.push_back(a);
+  s.events.push_back(b);
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScheduleMisuse, OverlappingDisconnectsSameClientThrow) {
+  FaultSchedule s;
+  s.events.push_back(disconnect(3, 10.0, 30.0));
+  s.events.push_back(disconnect(3, 20.0, 40.0));
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ScheduleMisuse, OverlappingDisconnectsDifferentClientsAreFine) {
+  FaultSchedule s;
+  s.events.push_back(disconnect(3, 10.0, 30.0));
+  s.events.push_back(disconnect(4, 20.0, 40.0));
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(ScheduleMisuse, ScriptedDisconnectsExcludeRandomChurn) {
+  FaultConfig f;
+  f.churn_rate = 0.01;
+  f.schedule.events.push_back(disconnect(0, 10.0, 20.0));
+  EXPECT_THROW(f.validate(), std::invalid_argument);
+  // Either axis alone is fine.
+  f.schedule.events.clear();
+  EXPECT_NO_THROW(f.validate());
+  f.churn_rate = 0.0;
+  f.schedule.events.push_back(disconnect(0, 10.0, 20.0));
+  EXPECT_NO_THROW(f.validate());
+}
+
+#if WDC_FAULTS_ENABLED
+
+using ScheduleMisuseDeathTest = ::testing::Test;
+
+TEST(ScheduleMisuseDeathTest, LoadScheduleAfterStartTrips) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        FaultConfig cfg;
+        cfg.enabled = true;
+        FaultInjector inj(sim, cfg, /*num_clients=*/4, Rng(7));
+        inj.start();
+        FaultSchedule late;
+        late.events.push_back(outage(1.0, 2.0));
+        inj.load_schedule(late);
+      },
+      "replayed after simulation start");
+#endif
+}
+
+TEST(ScheduleMisuseDeathTest, DoubleStartTrips) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EXPECT_DEATH(
+      {
+        Simulator sim;
+        FaultConfig cfg;
+        cfg.enabled = true;
+        FaultInjector inj(sim, cfg, /*num_clients=*/4, Rng(7));
+        inj.start();
+        inj.start();
+      },
+      "start\\(\\) called twice");
+#endif
+}
+
+#endif  // WDC_FAULTS_ENABLED
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,197 @@
+/// FaultSchedule file-format property tests: randomized parse → serialize →
+/// parse identity (the %.17g contract means bit-exact doubles), plus
+/// fuzz-style rejection of malformed inputs — truncation, out-of-order
+/// timestamps, unknown event kinds, non-finite rates, duplicate/missing/
+/// unknown keys, bad headers. The format is compiled unconditionally, so
+/// this file runs in every build configuration.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "faults/fault_schedule.hpp"
+#include "util/rng.hpp"
+
+namespace wdc {
+namespace {
+
+/// A random valid schedule: kinds mixed freely, every window disjoint from
+/// its predecessor (sufficient for the per-kind overlap rules), times drawn
+/// continuously so round-tripping exercises full double precision.
+FaultSchedule random_schedule(Rng& rng, std::size_t n_events) {
+  FaultSchedule sched;
+  double cursor = 0.0;
+  for (std::size_t i = 0; i < n_events; ++i) {
+    FaultScheduleEvent e;
+    const std::uint64_t kind = rng.uniform_int(8);
+    e.kind = static_cast<FaultScheduleKind>(kind);
+    e.t0 = cursor + rng.uniform(0.001, 5.0);
+    if (e.is_window()) {
+      e.t1 = e.t0 + rng.uniform(0.001, 30.0);
+      cursor = e.t1;
+    } else {
+      e.t1 = e.t0;
+      cursor = e.t0;
+    }
+    switch (e.kind) {
+      case FaultScheduleKind::kLossWindow:
+      case FaultScheduleKind::kCorruptWindow:
+        e.client = rng.bernoulli(0.3)
+                       ? kInvalidClient
+                       : static_cast<ClientId>(rng.uniform_int(16));
+        e.rate = rng.uniform(0.0, 1.0);
+        break;
+      case FaultScheduleKind::kOutage:
+      case FaultScheduleKind::kServerCrash:
+        e.client = kInvalidClient;
+        e.rate = 1.0;
+        break;
+      case FaultScheduleKind::kDisconnect:
+      case FaultScheduleKind::kDropPoint:
+      case FaultScheduleKind::kUplinkDropPoint:
+      case FaultScheduleKind::kCorruptPoint:
+        e.client = static_cast<ClientId>(rng.uniform_int(16));
+        e.rate = 1.0;
+        break;
+    }
+    if (e.kind == FaultScheduleKind::kLossWindow ||
+        e.kind == FaultScheduleKind::kDropPoint) {
+      const std::uint64_t m = rng.uniform_int(
+          e.kind == FaultScheduleKind::kLossWindow ? 3 : 2);
+      e.msgs = static_cast<FaultMsgClass>(m);
+    }
+    // Same-instant uplink-send ordinal; 0 stays implicit in the text form.
+    if (e.kind == FaultScheduleKind::kUplinkDropPoint)
+      e.ordinal = static_cast<std::uint32_t>(rng.uniform_int(4));
+    sched.events.push_back(e);
+  }
+  sched.validate();
+  return sched;
+}
+
+TEST(ScheduleRoundTrip, RandomSchedulesSurviveSerializeParse) {
+  Rng rng(0x5c4edu);
+  for (unsigned round = 0; round < 50; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const FaultSchedule original =
+        random_schedule(rng, 1 + rng.uniform_int(40));
+    const std::string text = original.serialize();
+    const FaultSchedule reparsed = FaultSchedule::parse(text);
+    EXPECT_EQ(original, reparsed) << text;
+    // Canonical form is a fixed point: serialize ∘ parse ∘ serialize = id.
+    EXPECT_EQ(text, reparsed.serialize());
+  }
+}
+
+TEST(ScheduleRoundTrip, EmptyScheduleRoundTrips) {
+  const FaultSchedule empty;
+  const FaultSchedule reparsed = FaultSchedule::parse(empty.serialize());
+  EXPECT_TRUE(reparsed.empty());
+  EXPECT_EQ(empty, reparsed);
+}
+
+TEST(ScheduleRoundTrip, CommentsAndBlankLinesAreIgnored) {
+  const FaultSchedule parsed = FaultSchedule::parse(
+      "# leading comment\n"
+      "\n"
+      "wdcsched v1 2\n"
+      "  # indented comment between events\n"
+      "loss client=all t0=1 t1=2 rate=0.5 msgs=report\n"
+      "\n"
+      "outage t0=3 t1=4\n"
+      "# trailing comment\n");
+  ASSERT_EQ(parsed.events.size(), 2u);
+  EXPECT_EQ(parsed.events[0].kind, FaultScheduleKind::kLossWindow);
+  EXPECT_EQ(parsed.events[1].kind, FaultScheduleKind::kOutage);
+}
+
+// ---------------------------------------------------------------- rejection --
+
+void expect_rejected(const std::string& text, const char* why) {
+  EXPECT_THROW(FaultSchedule::parse(text), std::invalid_argument) << why;
+}
+
+TEST(ScheduleFuzz, TruncationIsRejected) {
+  // Header declares 2 events, only 1 follows.
+  expect_rejected(
+      "wdcsched v1 2\n"
+      "outage t0=1 t1=2\n",
+      "truncated file");
+  // More events than declared.
+  expect_rejected(
+      "wdcsched v1 1\n"
+      "outage t0=1 t1=2\n"
+      "outage t0=3 t1=4\n",
+      "over-count");
+}
+
+TEST(ScheduleFuzz, BadHeadersAreRejected) {
+  expect_rejected("", "empty input");
+  expect_rejected("outage t0=1 t1=2\n", "missing header");
+  expect_rejected("wdcsched v2 1\noutage t0=1 t1=2\n", "unsupported version");
+  expect_rejected("wdcsched v1 many\noutage t0=1 t1=2\n", "garbage count");
+}
+
+TEST(ScheduleFuzz, OutOfOrderTimestampsAreRejected) {
+  expect_rejected(
+      "wdcsched v1 2\n"
+      "outage t0=10 t1=12\n"
+      "loss client=all t0=5 t1=6 rate=0.5 msgs=all\n",
+      "events out of t0 order");
+}
+
+TEST(ScheduleFuzz, UnknownEventKindIsRejected) {
+  expect_rejected("wdcsched v1 1\nmeteor t0=1 t1=2\n", "unknown kind");
+}
+
+TEST(ScheduleFuzz, NonFiniteAndGarbageNumbersAreRejected) {
+  expect_rejected(
+      "wdcsched v1 1\nloss client=all t0=1 t1=2 rate=nan msgs=all\n",
+      "NaN rate");
+  expect_rejected(
+      "wdcsched v1 1\nloss client=all t0=inf t1=2 rate=0.5 msgs=all\n",
+      "infinite t0");
+  expect_rejected(
+      "wdcsched v1 1\nloss client=all t0=1x t1=2 rate=0.5 msgs=all\n",
+      "trailing garbage in a number");
+}
+
+TEST(ScheduleFuzz, KeyErrorsAreRejected) {
+  expect_rejected("wdcsched v1 1\noutage t0=1\n", "missing t1");
+  expect_rejected("wdcsched v1 1\noutage t0=1 t1=2 t1=3\n", "duplicate key");
+  expect_rejected("wdcsched v1 1\noutage t0=1 t1=2 color=red\n",
+                  "unknown key");
+  expect_rejected(
+      "wdcsched v1 1\nloss client=all t0=1 t1=2 rate=0.5 msgs=carrier\n",
+      "unknown msgs class");
+  expect_rejected("wdcsched v1 1\ndisconnect client=all t0=1 t1=2\n",
+                  "disconnect needs a concrete client");
+}
+
+TEST(ScheduleFuzz, OrdinalsRoundTripAndErrorsAreRejected) {
+  const FaultSchedule parsed =
+      FaultSchedule::parse("wdcsched v1 1\nupdrop client=2 t=1.5 n=3\n");
+  ASSERT_EQ(parsed.events.size(), 1u);
+  EXPECT_EQ(parsed.events[0].ordinal, 3u);
+  EXPECT_EQ(parsed.serialize(),
+            "wdcsched v1 1\nupdrop client=2 t=1.5 n=3\n");
+
+  expect_rejected("wdcsched v1 1\ndrop client=2 t=1 msgs=data n=1\n",
+                  "n on a non-updrop event");
+  expect_rejected("wdcsched v1 1\ncorruptat client=2 t=1 n=1\n",
+                  "n on a non-updrop event");
+  expect_rejected("wdcsched v1 1\nupdrop client=2 t=1 n=-1\n", "negative n");
+  expect_rejected("wdcsched v1 1\nupdrop client=2 t=1 n=two\n", "garbage n");
+}
+
+TEST(ScheduleFuzz, SemanticRangeErrorsAreRejected) {
+  expect_rejected(
+      "wdcsched v1 1\nloss client=all t0=1 t1=2 rate=1.5 msgs=all\n",
+      "rate > 1");
+  expect_rejected("wdcsched v1 1\noutage t0=5 t1=2\n", "t1 < t0");
+  expect_rejected("wdcsched v1 1\noutage t0=-1 t1=2\n", "negative t0");
+}
+
+}  // namespace
+}  // namespace wdc

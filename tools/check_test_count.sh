@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Cross-checks the ctest case count claimed in README.md and ROADMAP.md
+# against the build's actual `ctest -N` total, so the docs can't drift
+# silently when a PR adds or removes tests.
+#
+#   tools/check_test_count.sh [build-dir]      (default: build)
+#
+# Marker formats it looks for (keep these when editing the docs):
+#   README.md:  "# <N> tests (ctest -N)"
+#   ROADMAP.md: "<N> ctest cases by"
+set -euo pipefail
+
+build_dir=${1:-build}
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+
+actual=$(ctest --test-dir "$build_dir" -N 2>/dev/null |
+  sed -n 's/^Total Tests: \([0-9][0-9]*\)$/\1/p')
+if [[ -z "$actual" ]]; then
+  echo "check_test_count: could not read 'Total Tests:' from ctest -N in '$build_dir'" >&2
+  exit 2
+fi
+
+readme=$(sed -n 's/.*# \([0-9][0-9]*\) tests (ctest -N).*/\1/p' \
+  "$repo_root/README.md" | head -n 1)
+roadmap=$(grep -o '[0-9][0-9]* ctest cases by' "$repo_root/ROADMAP.md" |
+  head -n 1 | grep -o '^[0-9]*' || true)
+
+status=0
+for pair in "README.md=$readme" "ROADMAP.md=$roadmap"; do
+  file=${pair%%=*}
+  claimed=${pair#*=}
+  if [[ -z "$claimed" ]]; then
+    echo "check_test_count: no test-count marker found in $file" >&2
+    status=1
+  elif [[ "$claimed" != "$actual" ]]; then
+    echo "check_test_count: $file claims $claimed tests but ctest -N reports $actual — update the doc" >&2
+    status=1
+  fi
+done
+[[ $status -eq 0 ]] && echo "check_test_count: docs and ctest -N agree ($actual tests)"
+exit $status

@@ -4,7 +4,7 @@
 /// produced by trace_file= runs or wdc_bench trace_every= sweeps.
 ///
 ///   wdc_trace <file.wdct>... [top=10] [timeline=<client|all>] [jsonl=out.jsonl]
-///             [counted_only=true]
+///             [counted_only=true] [distill=out.wdcsched]
 ///
 /// The reader side of src/trace is built unconditionally, so this tool can
 /// inspect traces regardless of how the producing binary was configured.
@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/fault_schedule.hpp"
 #include "trace/trace_event.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/trace_span.hpp"
@@ -32,7 +33,9 @@ void usage() {
       << "  top=10             slowest answered queries to list per file\n"
       << "  timeline=<id|all>  dump the event timeline of one client (or all)\n"
       << "  jsonl=<path>       export every event of every file as JSONL\n"
-      << "  counted_only=true  restrict summaries to post-warm-up answers\n";
+      << "  counted_only=true  restrict summaries to post-warm-up answers\n"
+      << "  distill=<path>     distil the fault events of ONE input trace into\n"
+      << "                     a replayable .wdcsched fault schedule\n";
 }
 
 std::string client_label(std::uint16_t client) {
@@ -130,6 +133,13 @@ void print_timeline(const TraceFile& tf, const std::string& which) {
         detail = strfmt(" after %.3fs, exposed=%.0f", static_cast<double>(ev.a),
                         static_cast<double>(ev.b));
         break;
+      case TraceEventKind::kFaultCorrupt:
+        detail = strfmt(" msg-kind=%.0f %s", static_cast<double>(ev.a),
+                        ev.b != 0.0f ? "accepted" : "rejected");
+        break;
+      case TraceEventKind::kServerCrash:
+      case TraceEventKind::kServerRecover:
+        break;
       default:
         break;
     }
@@ -152,8 +162,13 @@ int main(int argc, char** argv) {
   const std::string timeline = cfg.get_string("timeline", "");
   const std::string jsonl = cfg.get_string("jsonl", "");
   const bool counted_only = cfg.get_bool("counted_only", true);
+  const std::string distill = cfg.get_string("distill", "");
   for (const auto& key : cfg.unused_keys())
     std::cerr << "wdc_trace: warning: unused option '" << key << "'\n";
+  if (!distill.empty() && files.size() != 1) {
+    std::cerr << "wdc_trace: distill= takes exactly one input trace\n";
+    return 2;
+  }
 
   std::ofstream jsonl_os;
   if (!jsonl.empty()) {
@@ -182,6 +197,18 @@ int main(int argc, char** argv) {
     print_top_slowest(spans, top);
     if (!timeline.empty()) print_timeline(tf, timeline);
     if (jsonl_os.is_open()) write_trace_jsonl(tf, jsonl_os);
+    if (!distill.empty()) {
+      try {
+        const FaultSchedule sched =
+            FaultSchedule::distill(tf.events, tf.header.sim_time_s);
+        sched.save_file(distill);
+        std::cout << strfmt("[distilled %zu fault events to %s]\n",
+                            sched.events.size(), distill.c_str());
+      } catch (const std::exception& e) {
+        std::cerr << "wdc_trace: distill failed: " << e.what() << "\n";
+        return 1;
+      }
+    }
     auto& agg = by_protocol[tf.protocol()];
     agg.insert(agg.end(), spans.begin(), spans.end());
     std::cout << "\n";
