@@ -1,0 +1,90 @@
+#include "net/connection.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace wdc::net {
+
+Connection::Connection(FdGuard fd, std::size_t max_frame_payload,
+                       std::size_t max_write_backlog)
+    : fd_(std::move(fd)),
+      decoder_(max_frame_payload),
+      max_write_backlog_(max_write_backlog) {}
+
+Connection::IoResult Connection::read_some() {
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      bytes_read_ += static_cast<std::uint64_t>(n);
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      // Keep draining: poisoned streams still consume bytes so the caller
+      // sees read_poisoned() rather than a stuck EPOLLIN.
+      continue;
+    }
+    if (n == 0) return IoResult::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+    if (errno == EINTR) continue;
+    io_error_ = "recv: " + errno_string(errno);
+    return IoResult::kError;
+  }
+}
+
+Connection::QueueResult Connection::queue_frame(
+    const std::vector<std::uint8_t>& payload, bool force) {
+  if (!force && backlog_bytes_ > max_write_backlog_) {
+    ++frames_shed_;
+    return QueueResult::kShed;
+  }
+  std::vector<std::uint8_t> framed = frame_encode(payload);
+  backlog_bytes_ += framed.size();
+  bytes_queued_ += framed.size();
+  write_queue_.push_back(std::move(framed));
+  flush();
+  return QueueResult::kQueued;
+}
+
+Connection::IoResult Connection::flush() {
+  while (!write_queue_.empty()) {
+    const std::vector<std::uint8_t>& front = write_queue_.front();
+    const ssize_t n = ::send(fd_.get(), front.data() + write_offset_,
+                             front.size() - write_offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return IoResult::kClosed;
+      io_error_ = "send: " + errno_string(errno);
+      return IoResult::kError;
+    }
+    bytes_flushed_ += static_cast<std::uint64_t>(n);
+    backlog_bytes_ -= static_cast<std::size_t>(n);
+    write_offset_ += static_cast<std::size_t>(n);
+    if (write_offset_ == front.size()) {
+      write_queue_.pop_front();
+      write_offset_ = 0;
+    }
+    fire_watermarks();
+  }
+  return IoResult::kOk;
+}
+
+void Connection::on_flushed(std::uint64_t watermark, std::function<void()> cb) {
+  if (bytes_flushed_ >= watermark) {
+    cb();
+    return;
+  }
+  watermarks_.emplace_back(watermark, std::move(cb));
+}
+
+void Connection::fire_watermarks() {
+  while (!watermarks_.empty() && watermarks_.front().first <= bytes_flushed_) {
+    auto cb = std::move(watermarks_.front().second);
+    watermarks_.pop_front();
+    cb();
+  }
+}
+
+}  // namespace wdc::net

@@ -1,0 +1,117 @@
+#ifndef WDC_NET_CONNECTION_HPP
+#define WDC_NET_CONNECTION_HPP
+
+/// @file connection.hpp
+/// One framed, nonblocking stream endpoint: incremental frame reassembly on
+/// the read side, a bounded write queue with flush-watermark callbacks on the
+/// write side. Used by both the daemon (per accepted client) and the load
+/// driver (per outbound connection).
+///
+/// Backpressure contract: queue_frame() refuses (kShed) once the backlog
+/// exceeds the configured ceiling — the caller chooses per message class
+/// whether a refusal means "drop the frame" (background data) or "shed the
+/// connection" (a peer too slow to accept answers). Nothing here blocks.
+///
+/// Flush watermarks are how the daemon measures the `flush` leg of the
+/// per-answer latency decomposition: a callback registered at queue time
+/// fires exactly when the kernel has accepted every byte up to and including
+/// that frame.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/sockets.hpp"
+
+namespace wdc::net {
+
+class Connection {
+ public:
+  enum class IoResult {
+    kOk,      ///< made progress (possibly zero bytes; would-block)
+    kClosed,  ///< orderly EOF from the peer
+    kError,   ///< hard socket error (errno preserved in error())
+  };
+
+  Connection(FdGuard fd, std::size_t max_frame_payload,
+             std::size_t max_write_backlog);
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+  Connection(Connection&&) = default;
+  Connection& operator=(Connection&&) = default;
+
+  int fd() const { return fd_.get(); }
+  bool open() const { return fd_.valid(); }
+  void close() { fd_.reset(); }
+
+  // --- read side ---
+
+  /// Drain every readable byte into the frame decoder (until EAGAIN).
+  IoResult read_some();
+  /// Pop the next completed inbound frame payload.
+  bool next_frame(std::vector<std::uint8_t>* out) {
+    return decoder_.next(out);
+  }
+  /// The inbound stream declared an oversized frame; the connection is
+  /// unrecoverable (framing sync is lost).
+  bool read_poisoned() const { return decoder_.broken(); }
+  const std::string& read_error() const { return decoder_.error(); }
+
+  // --- write side ---
+
+  enum class QueueResult { kQueued, kShed };
+
+  /// Frame `payload` and append it to the write queue, then attempt an
+  /// immediate flush. kShed (frame not queued) when the backlog already
+  /// exceeds the ceiling. `force` bypasses the ceiling — reserved for the
+  /// final best-effort kShed notice before the owner drops the connection.
+  QueueResult queue_frame(const std::vector<std::uint8_t>& payload,
+                          bool force = false);
+
+  /// Push queued bytes into the kernel until EAGAIN or empty.
+  IoResult flush();
+
+  bool wants_write() const { return !write_queue_.empty(); }
+  std::size_t backlog_bytes() const { return backlog_bytes_; }
+
+  /// Total bytes ever accepted into the queue / flushed into the kernel.
+  std::uint64_t bytes_queued() const { return bytes_queued_; }
+  std::uint64_t bytes_flushed() const { return bytes_flushed_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t frames_shed() const { return frames_shed_; }
+
+  /// Fire `cb` once bytes_flushed() reaches `watermark` (watermarks are
+  /// registered in nondecreasing order by construction: queue time).
+  void on_flushed(std::uint64_t watermark, std::function<void()> cb);
+
+  /// Wall-clock bookkeeping slots maintained by the owning loop (seconds on
+  /// its monotonic clock): last inbound byte, last outbound progress.
+  double last_read_s = 0.0;
+  double last_write_progress_s = 0.0;
+
+  const std::string& error() const { return io_error_; }
+
+ private:
+  void fire_watermarks();
+
+  FdGuard fd_;
+  FrameDecoder decoder_;
+  std::size_t max_write_backlog_;
+
+  std::deque<std::vector<std::uint8_t>> write_queue_;
+  std::size_t write_offset_ = 0;  ///< bytes of the front chunk already written
+  std::size_t backlog_bytes_ = 0;
+  std::uint64_t bytes_queued_ = 0;
+  std::uint64_t bytes_flushed_ = 0;
+  std::uint64_t bytes_read_ = 0;
+  std::uint64_t frames_shed_ = 0;
+  std::deque<std::pair<std::uint64_t, std::function<void()>>> watermarks_;
+  std::string io_error_;
+};
+
+}  // namespace wdc::net
+
+#endif  // WDC_NET_CONNECTION_HPP

@@ -1,0 +1,79 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+
+#include <array>
+#include <cerrno>
+#include <utility>
+
+namespace wdc::net {
+
+EventLoop::EventLoop() : epoll_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!epoll_.valid()) error_ = "epoll_create1: " + errno_string(errno);
+}
+
+EventLoop::~EventLoop() = default;
+
+bool EventLoop::add(int fd, std::uint32_t events, Handler handler) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) {
+    error_ = "epoll_ctl(ADD): " + errno_string(errno);
+    return false;
+  }
+  handlers_[fd] = Entry{std::move(handler), ++generation_};
+  return true;
+}
+
+bool EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) != 0) {
+    error_ = "epoll_ctl(MOD): " + errno_string(errno);
+    return false;
+  }
+  return true;
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+int EventLoop::poll_once(int timeout_ms) {
+  std::array<epoll_event, 256> events;
+  const int n = ::epoll_wait(epoll_.get(), events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    error_ = "epoll_wait: " + errno_string(errno);
+    return -1;
+  }
+  // Snapshot generations first: a handler may close its fd and the slot may
+  // be reused by an add() later in this same batch — the stale event must
+  // then be dropped, not delivered to the new handler.
+  std::array<std::uint64_t, 256> gens{};
+  for (int i = 0; i < n; ++i) {
+    const auto it = handlers_.find(events[static_cast<std::size_t>(i)].data.fd);
+    gens[static_cast<std::size_t>(i)] = it == handlers_.end()
+                                            ? 0
+                                            : it->second.generation;
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto& ev = events[static_cast<std::size_t>(i)];
+    const auto it = handlers_.find(ev.data.fd);
+    if (it == handlers_.end()) continue;  // removed earlier in this batch
+    if (it->second.generation != gens[static_cast<std::size_t>(i)])
+      continue;  // slot reused within the batch; event belongs to the old fd
+    // Copy: the handler may remove itself (invalidating the map entry).
+    const Handler handler = it->second.handler;
+    handler(ev.events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace wdc::net

@@ -1,0 +1,58 @@
+#ifndef WDC_NET_EVENT_LOOP_HPP
+#define WDC_NET_EVENT_LOOP_HPP
+
+/// @file event_loop.hpp
+/// Single-threaded epoll readiness loop — the reactor both wdc_serve and the
+/// load driver run on. One fd, one callback; the callback receives the ready
+/// event mask. Removal during dispatch is safe: handlers are looked up per
+/// event and a generation counter voids callbacks whose fd slot was reused
+/// within the same poll batch.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "net/sockets.hpp"
+
+namespace wdc::net {
+
+class EventLoop {
+ public:
+  using Handler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  bool ok() const { return epoll_.valid(); }
+  const std::string& error() const { return error_; }
+
+  /// Register `fd` for `events` (EPOLLIN/EPOLLOUT/...); the loop does NOT own
+  /// the fd. False on EPOLL_CTL_ADD failure.
+  bool add(int fd, std::uint32_t events, Handler handler);
+  bool modify(int fd, std::uint32_t events);
+  void remove(int fd);
+  std::size_t size() const { return handlers_.size(); }
+
+  /// One epoll_wait + dispatch pass. `timeout_ms` < 0 blocks indefinitely.
+  /// Returns the number of fds dispatched, 0 on timeout, -1 on error (EINTR
+  /// is reported as 0, not an error).
+  int poll_once(int timeout_ms);
+
+ private:
+  struct Entry {
+    Handler handler;
+    std::uint64_t generation = 0;
+  };
+
+  FdGuard epoll_;
+  std::unordered_map<int, Entry> handlers_;
+  std::uint64_t generation_ = 0;
+  std::string error_;
+};
+
+}  // namespace wdc::net
+
+#endif  // WDC_NET_EVENT_LOOP_HPP

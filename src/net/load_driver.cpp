@@ -1,0 +1,450 @@
+#include "net/load_driver.hpp"
+
+#include <sys/epoll.h>
+#include <time.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "trace/trace_event.hpp"
+#include "trace/trace_io.hpp"
+
+namespace wdc::net {
+
+namespace {
+constexpr double kTickS = 0.05;  ///< housekeeping granularity of the run loop
+}
+
+double LoadReport::latency_quantile(double q) const {
+  if (latencies.empty()) return 0.0;
+  std::vector<double> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t idx =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(std::lround(std::max(0.0, pos))));
+  return sorted[idx];
+}
+
+LoadDriver::LoadDriver(LoadConfig cfg) : cfg_(std::move(cfg)) {}
+
+LoadDriver::~LoadDriver() = default;
+
+double LoadDriver::mono_s() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+bool LoadDriver::setup_replay(std::string* error) {
+  TraceFile file;
+  if (!read_trace_file(cfg_.replay_path, &file, error)) return false;
+  std::size_t submits = 0;
+  for (const TraceEvent& ev : file.events) {
+    if (ev.kind != static_cast<std::uint8_t>(TraceEventKind::kQuerySubmit))
+      continue;
+    // Partition the traced population over the fleet by traced client id, so
+    // one traced client's ops stay ordered on one connection.
+    Worker& w = *workers_[ev.client % workers_.size()];
+    w.script.push_back(ev.item);
+    ++submits;
+  }
+  if (submits == 0) {
+    if (error) *error = "replay trace has no kQuerySubmit records";
+    return false;
+  }
+  return true;
+}
+
+bool LoadDriver::run(std::string* error) {
+  if (!loop_.ok()) {
+    if (error) *error = loop_.error();
+    return false;
+  }
+  raise_fd_limit();
+
+  Rng master(cfg_.seed);
+  workers_.reserve(cfg_.connections);
+  for (std::size_t i = 0; i < cfg_.connections; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->nonce = static_cast<std::uint32_t>(i + 1);
+    w->rng = master.split();
+    workers_.push_back(std::move(w));
+  }
+  live_ = workers_.size();
+  if (!cfg_.replay_path.empty() && !setup_replay(error)) return false;
+
+  start_s_ = mono_s();
+  last_progress_s_ = start_s_;
+  for (auto& w : workers_) start_connect(*w, start_s_);
+
+  while (!stop_ && !done()) {
+    const double now = mono_s();
+
+    // Due connect retries; a drain stuck past the stall threshold — the same
+    // wedged-vs-slow line the answer watchdog draws — is cut (the ops were
+    // already answered, only the unread tail is lost).
+    for (auto& wp : workers_) {
+      Worker& w = *wp;
+      if (w.state == ConnState::kIdle && now >= w.next_attempt_s)
+        start_connect(w, now);
+      else if (w.state == ConnState::kDraining &&
+               now - w.drain_start_s > cfg_.stall_timeout_s)
+        close_worker(w);
+    }
+
+    // Duration-mode drain: once the clock expires, workers stop issuing and
+    // finish as soon as their outstanding ops are answered.
+    if (cfg_.duration_s > 0.0 && now - start_s_ >= cfg_.duration_s) {
+      for (auto& wp : workers_) {
+        Worker& w = *wp;
+        if (w.state == ConnState::kRunning && w.outstanding == 0)
+          finish_worker(w, true);
+      }
+      if (done()) break;
+    }
+
+    // Stall watchdog: outstanding ops but no answer for too long.
+    bool any_outstanding = false;
+    for (const auto& wp : workers_)
+      any_outstanding = any_outstanding || wp->outstanding > 0;
+    if (any_outstanding && now - last_progress_s_ > cfg_.stall_timeout_s) {
+      failure_ = "stalled: no answers for " +
+                 std::to_string(cfg_.stall_timeout_s) + "s";
+      break;
+    }
+    if (!failure_.empty()) break;
+
+    if (loop_.poll_once(static_cast<int>(kTickS * 1000.0)) < 0) {
+      failure_ = loop_.error();
+      break;
+    }
+  }
+
+  if (!failure_.empty()) {
+    if (error) *error = failure_;
+    return false;
+  }
+  return true;
+}
+
+void LoadDriver::start_connect(Worker& w, double now) {
+  ++report_.reconnect_attempts;
+  ++w.attempts;
+  bool in_progress = false;
+  std::string err;
+  FdGuard fd = cfg_.unix_path.empty()
+                   ? tcp_connect(cfg_.host, cfg_.port, &in_progress, &err)
+                   : unix_connect(cfg_.unix_path, &in_progress, &err);
+  if (!fd.valid()) {
+    if (w.attempts >= cfg_.max_connect_attempts) {
+      failure_ = "connect: " + err;
+      finish_worker(w, false);
+      return;
+    }
+    // Capped exponential backoff before the next attempt.
+    w.backoff_s = w.backoff_s == 0.0
+                      ? cfg_.backoff_initial_s
+                      : std::min(cfg_.backoff_max_s, w.backoff_s * 2.0);
+    w.next_attempt_s = now + w.backoff_s;
+    w.state = ConnState::kIdle;
+    return;
+  }
+  const int rawfd = fd.get();
+  w.io = std::make_unique<Connection>(std::move(fd), cfg_.max_frame_bytes,
+                                      cfg_.max_write_backlog);
+  w.state = ConnState::kConnecting;
+  const std::size_t index = w.index;
+  loop_.add(rawfd, EPOLLIN | EPOLLOUT,
+            [this, index](std::uint32_t events) { on_event(index, events); });
+  if (!in_progress) on_writable_connecting(w);
+}
+
+void LoadDriver::on_writable_connecting(Worker& w) {
+  const int err = take_connect_error(w.io->fd());
+  if (err != 0) {
+    loop_.remove(w.io->fd());
+    w.io.reset();
+    if (w.attempts >= cfg_.max_connect_attempts) {
+      failure_ = "connect: " + errno_string(err);
+      finish_worker(w, false);
+      return;
+    }
+    w.backoff_s = w.backoff_s == 0.0
+                      ? cfg_.backoff_initial_s
+                      : std::min(cfg_.backoff_max_s, w.backoff_s * 2.0);
+    w.next_attempt_s = mono_s() + w.backoff_s;
+    w.state = ConnState::kIdle;
+    return;
+  }
+  ++report_.connects;
+  set_nodelay(w.io->fd());
+  ServeMessage hello;
+  hello.kind = ServeWireKind::kHello;
+  hello.client_nonce = w.nonce;
+  if (w.io->queue_frame(encode_serve(hello)) ==
+      Connection::QueueResult::kShed) {
+    fail_worker(w, "hello shed");
+    return;
+  }
+  w.state = ConnState::kAwaitHelloAck;
+  update_write_interest(w);
+}
+
+void LoadDriver::on_event(std::size_t index, std::uint32_t events) {
+  Worker& w = *workers_[index];
+  if (w.state == ConnState::kDone || !w.io) return;
+
+  if (w.state == ConnState::kConnecting) {
+    if (events & (EPOLLOUT | EPOLLHUP | EPOLLERR)) on_writable_connecting(w);
+    return;
+  }
+  if (w.state == ConnState::kDraining) {
+    // The goodbye is queued; push the tail out and go. Inbound broadcast
+    // frames are still read and discarded so the kernel buffer cannot fill
+    // and wedge the server's writer against a departing client.
+    if (events & (EPOLLHUP | EPOLLERR)) {
+      close_worker(w);
+      return;
+    }
+    if (events & EPOLLIN) {
+      const auto r = w.io->read_some();
+      std::vector<std::uint8_t> frame;
+      while (w.io->next_frame(&frame)) {
+      }
+      if (r != Connection::IoResult::kOk || w.io->read_poisoned()) {
+        close_worker(w);
+        return;
+      }
+    }
+    if (events & EPOLLOUT) {
+      if (w.io->flush() != Connection::IoResult::kOk) {
+        close_worker(w);
+        return;
+      }
+    }
+    if (!w.io->wants_write()) close_worker(w);
+    return;
+  }
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    fail_worker(w, "hangup");
+    return;
+  }
+  if (events & EPOLLIN) {
+    const auto r = w.io->read_some();
+    if (!handle_frames(w)) return;
+    if (r != Connection::IoResult::kOk) {
+      fail_worker(w, "peer closed");
+      return;
+    }
+  }
+  if (events & EPOLLOUT) {
+    if (w.io->flush() != Connection::IoResult::kOk) {
+      fail_worker(w, "write error");
+      return;
+    }
+    update_write_interest(w);
+  }
+}
+
+bool LoadDriver::handle_frames(Worker& w) {
+  std::vector<std::uint8_t> frame;
+  while (w.io->next_frame(&frame)) {
+    ServeMessage m;
+    std::string err;
+    if (!decode_serve(frame, &m, &err)) {
+      ++report_.decode_errors;
+      fail_worker(w, "decode: " + err);
+      return false;
+    }
+    if (!on_message(w, m, mono_s())) return false;
+  }
+  if (w.io->read_poisoned()) {
+    ++report_.decode_errors;
+    fail_worker(w, "frame: " + w.io->read_error());
+    return false;
+  }
+  return true;
+}
+
+bool LoadDriver::on_message(Worker& w, const ServeMessage& m, double now) {
+  switch (m.kind) {
+    case ServeWireKind::kHelloAck: {
+      if (w.state != ConnState::kAwaitHelloAck || m.client_nonce != w.nonce) {
+        fail_worker(w, "bad hello ack");
+        return false;
+      }
+      ++report_.hellos_acked;
+      w.num_items = std::max<std::uint32_t>(1, m.num_items);
+      w.state = ConnState::kRunning;
+      issue_ops(w);
+      return w.state != ConnState::kDone;
+    }
+    case ServeWireKind::kItem: {
+      ++report_.items_rx;
+      auto it = w.pending.find(m.item);
+      if (it != w.pending.end()) {
+        // A broadcast item answers every outstanding request for that item on
+        // this connection (mirrors the server's coalescing); polls stay.
+        auto& fifo = it->second;
+        for (auto p = fifo.begin(); p != fifo.end();) {
+          if (p->is_poll) {
+            ++p;
+            continue;
+          }
+          report_.latencies.push_back(now - p->sent_at);
+          ++report_.answers;
+          ++w.ops_done;
+          --w.outstanding;
+          last_progress_s_ = now;
+          p = fifo.erase(p);
+        }
+        if (fifo.empty()) w.pending.erase(it);
+      }
+      issue_ops(w);
+      return w.state != ConnState::kDone;
+    }
+    case ServeWireKind::kPollAck: {
+      auto it = w.pending.find(m.item);
+      if (it != w.pending.end()) {
+        auto& fifo = it->second;
+        for (auto p = fifo.begin(); p != fifo.end(); ++p) {
+          if (!p->is_poll) continue;
+          report_.latencies.push_back(now - p->sent_at);
+          ++report_.poll_acks;
+          ++w.ops_done;
+          --w.outstanding;
+          last_progress_s_ = now;
+          fifo.erase(p);
+          break;
+        }
+        if (fifo.empty()) w.pending.erase(it);
+      }
+      issue_ops(w);
+      return w.state != ConnState::kDone;
+    }
+    case ServeWireKind::kReport:
+      ++report_.reports_rx;
+      return true;
+    case ServeWireKind::kData:
+      ++report_.data_rx;
+      return true;
+    case ServeWireKind::kInvalidate:
+      ++report_.invalidates_rx;
+      return true;
+    case ServeWireKind::kShed:
+      ++report_.sheds_rx;
+      return true;
+    default:
+      fail_worker(w, "unexpected server frame kind");
+      return false;
+  }
+}
+
+void LoadDriver::issue_ops(Worker& w) {
+  if (w.state != ConnState::kRunning) return;
+  const double now = mono_s();
+  const bool replay = !w.script.empty() || !cfg_.replay_path.empty();
+  while (w.outstanding < cfg_.max_in_flight) {
+    bool more;
+    if (replay) {
+      more = w.script_pos < w.script.size();
+    } else if (cfg_.requests_per_conn > 0) {
+      more = w.ops_issued < cfg_.requests_per_conn;
+    } else {
+      more = cfg_.duration_s > 0.0 && now - start_s_ < cfg_.duration_s;
+    }
+    if (!more) break;
+
+    ServeMessage m;
+    ItemId item;
+    bool is_poll = false;
+    if (replay) {
+      item = w.script[w.script_pos++] % w.num_items;
+    } else {
+      item = static_cast<ItemId>(w.rng.uniform_int(w.num_items));
+      is_poll = cfg_.poll_fraction > 0.0 && w.rng.uniform() < cfg_.poll_fraction;
+    }
+    m.kind = is_poll ? ServeWireKind::kPoll : ServeWireKind::kRequest;
+    m.item = item;
+    m.seq = static_cast<std::uint32_t>(w.ops_issued);
+    m.sent_at = mono_s();
+    m.version = 0;  // polls: deliberately stale, exercising the invalid path
+    if (w.io->queue_frame(encode_serve(m)) == Connection::QueueResult::kShed) {
+      fail_worker(w, "request shed locally");
+      return;
+    }
+    w.pending[item].push_back(Pending{m.sent_at, is_poll});
+    ++w.ops_issued;
+    ++w.outstanding;
+    if (is_poll)
+      ++report_.polls_sent;
+    else
+      ++report_.requests_sent;
+  }
+  update_write_interest(w);
+
+  // All ops issued and answered: orderly goodbye.
+  bool exhausted;
+  if (replay) {
+    exhausted = w.script_pos >= w.script.size();
+  } else if (cfg_.requests_per_conn > 0) {
+    exhausted = w.ops_issued >= cfg_.requests_per_conn;
+  } else {
+    exhausted = cfg_.duration_s > 0.0 && now - start_s_ >= cfg_.duration_s;
+  }
+  if (exhausted && w.outstanding == 0) finish_worker(w, true);
+}
+
+void LoadDriver::finish_worker(Worker& w, bool success) {
+  if (w.state == ConnState::kDone) return;
+  if (!success || !w.io || !w.io->open()) {
+    close_worker(w);
+    return;
+  }
+  if (w.state != ConnState::kDraining) {
+    ServeMessage bye;
+    bye.kind = ServeWireKind::kBye;
+    w.io->queue_frame(encode_serve(bye), /*force=*/true);
+  }
+  if (w.io->wants_write()) {
+    // Under fan-out pressure the tail (late requests + the bye) may still sit
+    // in the write queue; linger until it drains so the server reads every op
+    // we counted as sent instead of a truncated stream.
+    if (w.state != ConnState::kDraining) {
+      w.state = ConnState::kDraining;
+      w.drain_start_s = mono_s();
+    }
+    update_write_interest(w);
+    return;
+  }
+  close_worker(w);
+}
+
+void LoadDriver::close_worker(Worker& w) {
+  if (w.state == ConnState::kDone) return;
+  if (w.io && w.io->open()) {
+    loop_.remove(w.io->fd());
+    w.io->close();
+  }
+  w.state = ConnState::kDone;
+  if (live_ > 0) --live_;
+}
+
+void LoadDriver::fail_worker(Worker& w, const std::string& why) {
+  (void)why;
+  ++report_.conn_failures;
+  finish_worker(w, false);
+}
+
+void LoadDriver::update_write_interest(Worker& w, bool force_out) {
+  if (!w.io || !w.io->open()) return;
+  const bool want = force_out || w.io->wants_write();
+  loop_.modify(w.io->fd(), EPOLLIN | (want ? EPOLLOUT : 0u));
+}
+
+bool LoadDriver::done() const { return live_ == 0; }
+
+}  // namespace wdc::net

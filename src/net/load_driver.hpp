@@ -1,0 +1,177 @@
+#ifndef WDC_NET_LOAD_DRIVER_HPP
+#define WDC_NET_LOAD_DRIVER_HPP
+
+/// @file load_driver.hpp
+/// The wdc_load engine: a closed-loop client fleet against one wdc_serve
+/// daemon, all on a single epoll thread. Each connection runs the serve_codec
+/// handshake, keeps up to `max_in_flight` operations outstanding, matches
+/// answers FIFO-per-item (the same coalescing semantics the server applies),
+/// and records one wall-clock latency sample per answered operation.
+///
+/// Two operation sources:
+///  * synthetic — items drawn from a seeded Rng, `requests_per_conn` each (or
+///    open-ended in duration mode);
+///  * replay — the kQuerySubmit records of a .wdct trace, partitioned over
+///    the fleet by traced client id, replayed in order.
+///
+/// Connect failures back off exponentially (capped), so a fleet racing a
+/// just-starting daemon converges instead of stampeding.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "proto/serve_codec.hpp"
+#include "util/rng.hpp"
+
+namespace wdc::net {
+
+struct LoadConfig {
+  /// Target: TCP host:port, or a Unix-domain path (non-empty wins).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string unix_path;
+
+  std::size_t connections = 8;
+  std::size_t max_in_flight = 1;  ///< outstanding ops per connection
+  /// Ops per connection (synthetic mode). 0 with duration_s > 0 = soak: run
+  /// open-loop-capped until the clock expires.
+  std::uint64_t requests_per_conn = 100;
+  double duration_s = 0.0;
+
+  std::uint64_t seed = 1;
+  /// Fraction of ops issued as kPoll instead of kRequest (PER scenarios).
+  double poll_fraction = 0.0;
+
+  /// Replay mode: path of a .wdct trace whose kQuerySubmit records define the
+  /// op sequence (overrides requests_per_conn / poll_fraction).
+  std::string replay_path;
+
+  // --- connect retry ---
+  double backoff_initial_s = 0.05;
+  double backoff_max_s = 2.0;
+  unsigned max_connect_attempts = 10;
+
+  /// Abort the run when no answer arrives for this long while ops are
+  /// outstanding (a wedged daemon, not a slow one).
+  double stall_timeout_s = 30.0;
+
+  std::size_t max_frame_bytes = kMaxFramePayload;
+  std::size_t max_write_backlog = 1u << 22;
+};
+
+struct LoadReport {
+  std::uint64_t connects = 0;
+  std::uint64_t reconnect_attempts = 0;
+  std::uint64_t hellos_acked = 0;
+  std::uint64_t requests_sent = 0;
+  std::uint64_t polls_sent = 0;
+  std::uint64_t answers = 0;       ///< kItem answers matched to our requests
+  std::uint64_t poll_acks = 0;     ///< kPollAck answers matched to our polls
+  std::uint64_t reports_rx = 0;
+  std::uint64_t items_rx = 0;      ///< all kItem frames (incl. unsolicited)
+  std::uint64_t data_rx = 0;
+  std::uint64_t invalidates_rx = 0;
+  std::uint64_t sheds_rx = 0;
+  std::uint64_t decode_errors = 0;
+  std::uint64_t conn_failures = 0; ///< connections lost before finishing
+
+  /// One sample per answered op, seconds.
+  std::vector<double> latencies;
+
+  std::uint64_t ops_sent() const { return requests_sent + polls_sent; }
+  std::uint64_t ops_answered() const { return answers + poll_acks; }
+  /// Sent-but-never-answered ops — the zero-drop contract checks this.
+  std::uint64_t dropped() const {
+    const std::uint64_t sent = ops_sent();
+    const std::uint64_t got = ops_answered();
+    return sent > got ? sent - got : 0;
+  }
+  /// q in [0,1]; 0 when no samples. Sorts a copy (call after the run).
+  double latency_quantile(double q) const;
+};
+
+class LoadDriver {
+ public:
+  explicit LoadDriver(LoadConfig cfg);
+  ~LoadDriver();
+  LoadDriver(const LoadDriver&) = delete;
+  LoadDriver& operator=(const LoadDriver&) = delete;
+
+  /// Run the whole fleet to completion. False + `error` on setup failure,
+  /// stall, or when any connection exhausts its connect attempts.
+  bool run(std::string* error);
+
+  const LoadReport& report() const { return report_; }
+  void request_stop() { stop_ = true; }
+
+ private:
+  enum class ConnState {
+    kIdle,
+    kConnecting,
+    kAwaitHelloAck,
+    kRunning,
+    kDraining,  ///< goodbye said; flushing the queued tail before close
+    kDone,
+  };
+
+  struct Pending {
+    double sent_at = 0.0;
+    bool is_poll = false;
+  };
+
+  struct Worker {
+    std::size_t index = 0;
+    ConnState state = ConnState::kIdle;
+    std::unique_ptr<Connection> io;
+    std::uint32_t nonce = 0;
+    std::uint32_t num_items = 1;
+    Rng rng{1};
+    /// Replay mode: this worker's item script (empty = synthetic).
+    std::vector<ItemId> script;
+    std::size_t script_pos = 0;
+    std::uint64_t ops_issued = 0;
+    std::uint64_t ops_done = 0;
+    std::size_t outstanding = 0;
+    std::unordered_map<ItemId, std::deque<Pending>> pending;
+    // --- connect retry ---
+    unsigned attempts = 0;
+    double next_attempt_s = 0.0;
+    double backoff_s = 0.0;
+    double drain_start_s = 0.0;  ///< when kDraining began (grace-period cut)
+  };
+
+  static double mono_s();
+  bool setup_replay(std::string* error);
+  void start_connect(Worker& w, double now);
+  void on_writable_connecting(Worker& w);
+  void on_event(std::size_t index, std::uint32_t events);
+  bool handle_frames(Worker& w);
+  bool on_message(Worker& w, const ServeMessage& m, double now);
+  void issue_ops(Worker& w);
+  void finish_worker(Worker& w, bool success);
+  void close_worker(Worker& w);
+  void fail_worker(Worker& w, const std::string& why);
+  void update_write_interest(Worker& w, bool force_out = false);
+  bool done() const;
+
+  LoadConfig cfg_;
+  LoadReport report_;
+  EventLoop loop_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::size_t live_ = 0;   ///< workers not yet kDone
+  volatile bool stop_ = false;
+  double start_s_ = 0.0;
+  double last_progress_s_ = 0.0;
+  std::string failure_;
+};
+
+}  // namespace wdc::net
+
+#endif  // WDC_NET_LOAD_DRIVER_HPP

@@ -1,0 +1,171 @@
+#include "net/sockets.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace wdc::net {
+
+namespace {
+
+FdGuard fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + errno_string(errno);
+  return FdGuard();
+}
+
+bool fill_unix_addr(const std::string& path, sockaddr_un* addr,
+                    std::string* error) {
+  if (path.size() >= sizeof(addr->sun_path)) {
+    if (error != nullptr)
+      *error = "unix socket path too long (" + std::to_string(path.size()) +
+               " bytes): " + path;
+    return false;
+  }
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+bool fill_inet_addr(const std::string& host, int port, sockaddr_in* addr,
+                    std::string* error) {
+  std::memset(addr, 0, sizeof *addr);
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) *error = "not a dotted-quad IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void FdGuard::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  const int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags >= 0) ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC);
+  return true;
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  // Fails with ENOTSUP/EOPNOTSUPP on AF_UNIX — deliberately ignored.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+FdGuard tcp_listen(const std::string& host, int port, int backlog,
+                   int* bound_port, std::string* error) {
+  sockaddr_in addr{};
+  if (!fill_inet_addr(host, port, &addr, error)) return FdGuard();
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return fail(error, "socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0)
+    return fail(error, "bind " + host + ":" + std::to_string(port));
+  if (::listen(fd.get(), backlog) < 0) return fail(error, "listen");
+  if (!set_nonblocking(fd.get())) return fail(error, "fcntl(O_NONBLOCK)");
+  if (bound_port != nullptr) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0)
+      return fail(error, "getsockname");
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return fd;
+}
+
+FdGuard unix_listen(const std::string& path, int backlog, std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_unix_addr(path, &addr, error)) return FdGuard();
+  ::unlink(path.c_str());
+  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) return fail(error, "socket");
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0)
+    return fail(error, "bind " + path);
+  if (::listen(fd.get(), backlog) < 0) return fail(error, "listen");
+  if (!set_nonblocking(fd.get())) return fail(error, "fcntl(O_NONBLOCK)");
+  return fd;
+}
+
+namespace {
+
+FdGuard connect_common(FdGuard fd, const sockaddr* addr, socklen_t len,
+                       bool* in_progress, std::string* error) {
+  if (!fd.valid()) return fail(error, "socket");
+  if (!set_nonblocking(fd.get())) return fail(error, "fcntl(O_NONBLOCK)");
+  *in_progress = false;
+  if (::connect(fd.get(), addr, len) == 0) return fd;
+  if (errno == EINPROGRESS) {
+    *in_progress = true;
+    return fd;
+  }
+  // Note EAGAIN is NOT in-progress: a Unix-domain connect returns it when
+  // the listen backlog is full, and that connection never completes — it
+  // must go back through the caller's backoff-retry path.
+  return fail(error, "connect");
+}
+
+}  // namespace
+
+FdGuard tcp_connect(const std::string& host, int port, bool* in_progress,
+                    std::string* error) {
+  sockaddr_in addr{};
+  if (!fill_inet_addr(host, port, &addr, error)) return FdGuard();
+  FdGuard fd(::socket(AF_INET, SOCK_STREAM, 0));
+  return connect_common(std::move(fd),
+                        reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+                        in_progress, error);
+}
+
+FdGuard unix_connect(const std::string& path, bool* in_progress,
+                     std::string* error) {
+  sockaddr_un addr{};
+  if (!fill_unix_addr(path, &addr, error)) return FdGuard();
+  FdGuard fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  return connect_common(std::move(fd),
+                        reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+                        in_progress, error);
+}
+
+int take_connect_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) return errno;
+  return err;
+}
+
+long raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0)
+    return -1;
+  if (lim.rlim_cur < lim.rlim_max) {
+    rlimit want = lim;
+    want.rlim_cur = lim.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &want) == 0) lim = want;
+  }
+  return static_cast<long>(lim.rlim_cur);
+}
+
+std::string errno_string(int err) {
+  return std::string(std::strerror(err)) + " (" + std::to_string(err) + ")";
+}
+
+}  // namespace wdc::net

@@ -1,0 +1,80 @@
+#ifndef WDC_NET_SOCKETS_HPP
+#define WDC_NET_SOCKETS_HPP
+
+/// @file sockets.hpp
+/// Thin POSIX socket helpers for the serve subsystem: RAII fds, non-blocking
+/// listeners/connectors over TCP loopback-or-not and Unix-domain sockets, and
+/// the fd-limit raiser the ≥1000-connection contract depends on. src/net is
+/// the project's only I/O boundary (the no-blocking-io lint check carves it
+/// out); everything here is nonblocking-by-default so a single epoll thread
+/// can own thousands of sockets.
+
+#include <string>
+#include <utility>
+
+namespace wdc::net {
+
+/// Owning fd wrapper; closes on destruction. -1 = empty.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) : fd_(fd) {}
+  ~FdGuard() { reset(); }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  FdGuard(FdGuard&& o) noexcept : fd_(o.release()) {}
+  FdGuard& operator=(FdGuard&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = o.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// O_NONBLOCK + FD_CLOEXEC; false on fcntl failure.
+bool set_nonblocking(int fd);
+
+/// Disable Nagle on a TCP socket (harmless no-op for Unix-domain sockets).
+void set_nodelay(int fd);
+
+/// Nonblocking TCP listener on host:port (port 0 = ephemeral). On success
+/// stores the actually bound port in `bound_port`. Invalid FdGuard + `error`
+/// on failure.
+FdGuard tcp_listen(const std::string& host, int port, int backlog,
+                   int* bound_port, std::string* error);
+
+/// Nonblocking Unix-domain listener at `path` (any stale socket file is
+/// unlinked first).
+FdGuard unix_listen(const std::string& path, int backlog, std::string* error);
+
+/// Begin a nonblocking connect. `in_progress` is set when the connect needs
+/// an EPOLLOUT completion (check take_connect_error() then).
+FdGuard tcp_connect(const std::string& host, int port, bool* in_progress,
+                    std::string* error);
+FdGuard unix_connect(const std::string& path, bool* in_progress,
+                     std::string* error);
+
+/// SO_ERROR after a writability event completes a nonblocking connect;
+/// 0 = connected.
+int take_connect_error(int fd);
+
+/// Raise RLIMIT_NOFILE's soft limit to its hard limit (the ≥1000-connection
+/// loopback contract needs >2048 fds in one process). Returns the resulting
+/// soft limit; never throws, never lowers.
+long raise_fd_limit();
+
+/// errno as a short string ("ECONNREFUSED (111)" style).
+std::string errno_string(int err);
+
+}  // namespace wdc::net
+
+#endif  // WDC_NET_SOCKETS_HPP

@@ -1,7 +1,6 @@
 #include "proto/report_codec.hpp"
 
-#include <cmath>
-#include <cstring>
+#include "proto/wire_bytes.hpp"
 
 namespace wdc {
 namespace {
@@ -9,43 +8,12 @@ namespace {
 constexpr std::uint8_t kMagic0 = 'W';
 constexpr std::uint8_t kMagic1 = 'R';
 
-/// FNV-1a over the frame image — the v2 trailing checksum.
-std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
-  std::uint32_t h = 2166136261u;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 16777619u;
-  }
-  return h;
-}
-
-// --- encoding -------------------------------------------------------------
-
-class ByteWriter {
- public:
-  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
-
-  void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u32(std::uint32_t v) { raw(&v, sizeof v); }
-  void f64(double v) { raw(&v, sizeof v); }
-
-  void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
-
-  /// Seal the frame: append the checksum of everything written so far, then
-  /// hand the buffer over.
-  std::vector<std::uint8_t> take() {
-    u32(fnv1a32(buf_.data(), buf_.size()));
-    return std::move(buf_);
-  }
-
- private:
-  void raw(const void* p, std::size_t n) {
-    const auto* b = static_cast<const std::uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
-  }
-
-  std::vector<std::uint8_t> buf_;
-};
+// The byte-level writer/reader pair and the FNV-1a checksum live in
+// proto/wire_bytes.hpp, shared with the socket envelope codec (serve_codec) —
+// one bounds-checking / count-pre-validation discipline for every wire format.
+using wire::ByteReader;
+using wire::ByteWriter;
+using wire::fnv1a32;
 
 ByteWriter header(ReportWireKind kind, std::size_t reserve) {
   ByteWriter w(reserve + 4);
@@ -55,66 +23,6 @@ ByteWriter header(ReportWireKind kind, std::size_t reserve) {
   w.u8(static_cast<std::uint8_t>(kind));
   return w;
 }
-
-// --- decoding -------------------------------------------------------------
-
-/// Bounds-checked cursor over the input buffer. Every accessor returns false
-/// once the buffer is exhausted; `error` keeps the FIRST failure reason.
-class ByteReader {
- public:
-  ByteReader(const std::uint8_t* data, std::size_t size)
-      : p_(data), end_(data + size) {}
-
-  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
-
-  bool u8(std::uint8_t* out, const char* what) {
-    if (!need(1, what)) return false;
-    *out = *p_++;
-    return true;
-  }
-  bool u32(std::uint32_t* out, const char* what) {
-    if (!need(sizeof *out, what)) return false;
-    std::memcpy(out, p_, sizeof *out);
-    p_ += sizeof *out;
-    return true;
-  }
-  bool f64(double* out, const char* what) {
-    if (!need(sizeof *out, what)) return false;
-    std::memcpy(out, p_, sizeof *out);
-    p_ += sizeof *out;
-    if (!std::isfinite(*out)) return fail("non-finite", what);
-    return true;
-  }
-
-  /// Read a u32 element count and pre-validate it against the bytes actually
-  /// left, so a corrupted count can neither overrun nor trigger a huge
-  /// allocation.
-  bool count(std::size_t entry_bytes, std::size_t* out, const char* what) {
-    std::uint32_t n = 0;
-    if (!u32(&n, what)) return false;
-    if (static_cast<std::size_t>(n) * entry_bytes > remaining())
-      return fail("list overruns buffer:", what);
-    *out = n;
-    return true;
-  }
-
-  bool fail(const char* why, const char* what) {
-    if (error_.empty()) error_ = std::string(why) + " " + what;
-    return false;
-  }
-
-  const std::string& error() const { return error_; }
-
- private:
-  bool need(std::size_t n, const char* what) {
-    if (remaining() >= n) return true;
-    return fail("truncated at", what);
-  }
-
-  const std::uint8_t* p_;
-  const std::uint8_t* end_;
-  std::string error_;
-};
 
 bool read_id_time_pairs(ByteReader& r,
                         std::vector<std::pair<ItemId, SimTime>>* out,

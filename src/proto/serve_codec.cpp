@@ -1,0 +1,189 @@
+#include "proto/serve_codec.hpp"
+
+#include "proto/wire_bytes.hpp"
+
+namespace wdc {
+namespace {
+
+constexpr std::uint8_t kMagic0 = 'W';
+constexpr std::uint8_t kMagic1 = 'S';
+
+using wire::ByteReader;
+using wire::ByteWriter;
+using wire::fnv1a32;
+
+ByteWriter header(ServeWireKind kind, std::size_t reserve) {
+  ByteWriter w(reserve + 8);
+  w.u8(kMagic0);
+  w.u8(kMagic1);
+  w.u8(kServeCodecVersion);
+  w.u8(static_cast<std::uint8_t>(kind));
+  return w;
+}
+
+void write_byte_run(ByteWriter& w, const std::vector<std::uint8_t>& bytes) {
+  w.count(bytes.size());
+  w.bytes(bytes.data(), bytes.size());
+}
+
+bool decode_body(ByteReader& r, ServeWireKind kind, ServeMessage* m) {
+  switch (kind) {
+    case ServeWireKind::kHello:
+      return r.u32(&m->client_nonce, "hello.nonce");
+    case ServeWireKind::kHelloAck:
+      return r.u32(&m->client_nonce, "hello_ack.nonce") &&
+             r.u32(&m->client_id, "hello_ack.client_id") &&
+             r.u32(&m->num_items, "hello_ack.num_items") &&
+             r.u8(&m->protocol, "hello_ack.protocol") &&
+             r.f64(&m->ir_interval_s, "hello_ack.ir_interval");
+    case ServeWireKind::kRequest:
+      return r.u32(&m->item, "request.item") && r.u32(&m->seq, "request.seq") &&
+             r.f64(&m->sent_at, "request.sent_at");
+    case ServeWireKind::kPoll:
+      return r.u32(&m->item, "poll.item") &&
+             r.u64(&m->version, "poll.version") &&
+             r.u32(&m->seq, "poll.seq") && r.f64(&m->sent_at, "poll.sent_at");
+    case ServeWireKind::kBye:
+      return true;
+    case ServeWireKind::kReport:
+      return r.byte_run(&m->report_frame, "report.frame");
+    case ServeWireKind::kItem:
+      return r.u32(&m->item, "item.id") && r.u64(&m->version, "item.version") &&
+             r.f64(&m->content_time, "item.content_time") &&
+             r.f64(&m->lease_s, "item.lease") &&
+             r.u64(&m->payload_bits, "item.bits") &&
+             r.byte_run(&m->digest_frame, "item.digest");
+    case ServeWireKind::kData:
+      return r.u64(&m->payload_bits, "data.bits") &&
+             r.byte_run(&m->digest_frame, "data.digest");
+    case ServeWireKind::kInvalidate:
+      return r.u32(&m->item, "invalidate.item") &&
+             r.f64(&m->update_time, "invalidate.update_time");
+    case ServeWireKind::kPollAck: {
+      std::uint8_t valid = 0;
+      if (!r.u32(&m->item, "poll_ack.item") ||
+          !r.u64(&m->version, "poll_ack.version") ||
+          !r.f64(&m->content_time, "poll_ack.content_time") ||
+          !r.u8(&valid, "poll_ack.valid"))
+        return false;
+      if (valid > 1) return r.fail("boolean out of {0,1}:", "poll_ack.valid");
+      m->valid = valid != 0;
+      return true;
+    }
+    case ServeWireKind::kShed:
+      return r.u8(&m->shed_reason, "shed.reason");
+  }
+  return r.fail("unknown", "serve kind");
+}
+
+}  // namespace
+
+const char* to_string(ServeWireKind k) {
+  switch (k) {
+    case ServeWireKind::kHello: return "HELLO";
+    case ServeWireKind::kHelloAck: return "HELLO_ACK";
+    case ServeWireKind::kRequest: return "REQUEST";
+    case ServeWireKind::kPoll: return "POLL";
+    case ServeWireKind::kBye: return "BYE";
+    case ServeWireKind::kReport: return "REPORT";
+    case ServeWireKind::kItem: return "ITEM";
+    case ServeWireKind::kData: return "DATA";
+    case ServeWireKind::kInvalidate: return "INVALIDATE";
+    case ServeWireKind::kPollAck: return "POLL_ACK";
+    case ServeWireKind::kShed: return "SHED";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_serve(const ServeMessage& m) {
+  ByteWriter w = header(
+      m.kind, 40 + m.report_frame.size() + m.digest_frame.size());
+  switch (m.kind) {
+    case ServeWireKind::kHello:
+      w.u32(m.client_nonce);
+      break;
+    case ServeWireKind::kHelloAck:
+      w.u32(m.client_nonce);
+      w.u32(m.client_id);
+      w.u32(m.num_items);
+      w.u8(m.protocol);
+      w.f64(m.ir_interval_s);
+      break;
+    case ServeWireKind::kRequest:
+      w.u32(m.item);
+      w.u32(m.seq);
+      w.f64(m.sent_at);
+      break;
+    case ServeWireKind::kPoll:
+      w.u32(m.item);
+      w.u64(m.version);
+      w.u32(m.seq);
+      w.f64(m.sent_at);
+      break;
+    case ServeWireKind::kBye:
+      break;
+    case ServeWireKind::kReport:
+      write_byte_run(w, m.report_frame);
+      break;
+    case ServeWireKind::kItem:
+      w.u32(m.item);
+      w.u64(m.version);
+      w.f64(m.content_time);
+      w.f64(m.lease_s);
+      w.u64(m.payload_bits);
+      write_byte_run(w, m.digest_frame);
+      break;
+    case ServeWireKind::kData:
+      w.u64(m.payload_bits);
+      write_byte_run(w, m.digest_frame);
+      break;
+    case ServeWireKind::kInvalidate:
+      w.u32(m.item);
+      w.f64(m.update_time);
+      break;
+    case ServeWireKind::kPollAck:
+      w.u32(m.item);
+      w.u64(m.version);
+      w.f64(m.content_time);
+      w.u8(m.valid ? 1 : 0);
+      break;
+    case ServeWireKind::kShed:
+      w.u8(m.shed_reason);
+      break;
+  }
+  return w.take();
+}
+
+bool decode_serve(const std::uint8_t* data, std::size_t size,
+                  ServeMessage* out, std::string* error) {
+  const auto set_error = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  ByteReader r(data, size);
+  std::uint8_t m0 = 0, m1 = 0, version = 0, kind = 0;
+  if (!r.u8(&m0, "magic") || !r.u8(&m1, "magic")) return set_error(r.error());
+  if (m0 != kMagic0 || m1 != kMagic1) return set_error("bad magic");
+  if (!r.u8(&version, "version")) return set_error(r.error());
+  if (version != kServeCodecVersion)
+    return set_error("unsupported version " + std::to_string(version));
+  if (!r.u8(&kind, "kind")) return set_error(r.error());
+  if (kind > kMaxServeWireKind)
+    return set_error("unknown serve kind " + std::to_string(kind));
+
+  ServeMessage m;
+  m.kind = static_cast<ServeWireKind>(kind);
+  if (!decode_body(r, m.kind, &m)) return set_error(r.error());
+  // The checksum seals everything before it: header + body, but not any
+  // trailing garbage (which the strictness check below still rejects).
+  const std::size_t sealed = size - r.remaining();
+  std::uint32_t expect = 0;
+  if (!r.u32(&expect, "checksum")) return set_error(r.error());
+  if (expect != fnv1a32(data, sealed)) return set_error("checksum mismatch");
+  if (r.remaining() != 0)
+    return set_error(std::to_string(r.remaining()) + " trailing bytes");
+  *out = std::move(m);
+  return true;
+}
+
+}  // namespace wdc

@@ -1,0 +1,100 @@
+#ifndef WDC_PROTO_SERVE_CODEC_HPP
+#define WDC_PROTO_SERVE_CODEC_HPP
+
+/// @file serve_codec.hpp
+/// The socket envelope: every message crossing a wdc_serve connection, both
+/// directions, as one self-checking frame. Layout mirrors report_codec:
+///
+///   'W' 'S'  version:u8  kind:u8  <kind-specific fields>  checksum:u32
+///
+/// Invalidation reports are not re-modelled here — a kReport envelope nests
+/// the report_codec frame verbatim (count-prefixed), so the fuzz-hardened
+/// PR 5 codec remains the single wire definition of report content and the
+/// envelope only adds transport envelope fields (sequence numbers, client
+/// send timestamps for measured latency, shed notices).
+///
+/// Same corruption discipline as report_codec, enforced by the shared
+/// wire_bytes primitives: bounds-checked reads, counts pre-validated before
+/// allocation, trailing FNV-1a-32 checksum, trailing bytes rejected.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace wdc {
+
+inline constexpr std::uint8_t kServeCodecVersion = 1;
+
+/// Wire discriminator. kHello..kBye travel client → server; the rest
+/// server → client.
+enum class ServeWireKind : std::uint8_t {
+  kHello = 0,      ///< open: client introduces itself (nonce echoes in the ack)
+  kHelloAck = 1,   ///< server's reply: assigned client id + scenario identity
+  kRequest = 2,    ///< cache-miss fetch of an item
+  kPoll = 3,       ///< PER: validate a cached (item, version) pair
+  kBye = 4,        ///< orderly close
+  kReport = 5,     ///< nested report_codec frame (IR/UIR/SIG/BS broadcast)
+  kItem = 6,       ///< item broadcast (the answer to kRequest)
+  kData = 7,       ///< background downlink traffic frame
+  kInvalidate = 8, ///< CBL unicast lease-revocation notice
+  kPollAck = 9,    ///< PER unicast poll verdict
+  kShed = 10,      ///< backpressure: server is about to drop this connection
+};
+inline constexpr std::uint8_t kMaxServeWireKind =
+    static_cast<std::uint8_t>(ServeWireKind::kShed);
+
+const char* to_string(ServeWireKind k);
+
+/// Decoded (or to-be-encoded) envelope: `kind` selects which fields are
+/// meaningful; encode_serve() writes exactly those, so unused fields never
+/// reach the wire.
+struct ServeMessage {
+  ServeWireKind kind = ServeWireKind::kHello;
+
+  // kHello / kHelloAck
+  std::uint32_t client_nonce = 0;
+  std::uint32_t client_id = 0;
+  std::uint32_t num_items = 0;
+  std::uint8_t protocol = 0;     ///< ProtocolKind the daemon runs
+  double ir_interval_s = 0.0;
+
+  // kRequest / kPoll / kItem / kInvalidate / kPollAck
+  ItemId item = 0;
+  std::uint32_t seq = 0;         ///< client-chosen request sequence number
+  double sent_at = 0.0;          ///< client CLOCK_MONOTONIC seconds at send
+  Version version = 0;
+  double content_time = 0.0;
+  double lease_s = 0.0;
+  bool valid = false;            ///< kPollAck verdict
+  double update_time = 0.0;      ///< kInvalidate
+
+  // kItem / kData
+  std::uint64_t payload_bits = 0;
+
+  // kShed
+  std::uint8_t shed_reason = 0;
+
+  // Nested report_codec frames (verbatim bytes; empty = absent).
+  std::vector<std::uint8_t> report_frame;  ///< kReport body
+  std::vector<std::uint8_t> digest_frame;  ///< optional on kItem / kData
+};
+
+std::vector<std::uint8_t> encode_serve(const ServeMessage& m);
+
+/// Strict decode: false (with a one-line reason) on any structural damage,
+/// checksum mismatch, unknown kind, or trailing bytes. Never throws, never
+/// allocates more than the input size.
+bool decode_serve(const std::uint8_t* data, std::size_t size,
+                  ServeMessage* out, std::string* error = nullptr);
+
+inline bool decode_serve(const std::vector<std::uint8_t>& frame,
+                         ServeMessage* out, std::string* error = nullptr) {
+  return decode_serve(frame.data(), frame.size(), out, error);
+}
+
+}  // namespace wdc
+
+#endif  // WDC_PROTO_SERVE_CODEC_HPP

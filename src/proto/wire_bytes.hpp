@@ -1,0 +1,143 @@
+#ifndef WDC_PROTO_WIRE_BYTES_HPP
+#define WDC_PROTO_WIRE_BYTES_HPP
+
+/// @file wire_bytes.hpp
+/// Shared byte-level (de)serialization primitives of the wire codecs: the
+/// bounds-checked reader/writer pair and the FNV-1a-32 frame checksum that
+/// report_codec (PR 5) established and serve_codec (the socket envelope)
+/// reuses. One discipline, two codecs:
+///
+///  * every read is bounds-checked, the FIRST failure reason is kept;
+///  * list counts are pre-validated against the bytes actually remaining
+///    BEFORE any allocation, so a flipped length byte cannot balloon memory;
+///  * ByteWriter::take() seals the frame with a trailing checksum over all
+///    preceding bytes.
+///
+/// Native endian, like the .wdct trace format: frames are machine-local (the
+/// daemon and its load driver run on the same host), not interchange.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace wdc::wire {
+
+/// FNV-1a over a frame image — the trailing checksum of every sealed frame.
+inline std::uint32_t fnv1a32(const std::uint8_t* p, std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Append-only frame builder; take() seals with the checksum.
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { raw(&v, sizeof v); }
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void f64(double v) { raw(&v, sizeof v); }
+
+  void count(std::size_t n) { u32(static_cast<std::uint32_t>(n)); }
+
+  /// Raw byte run (nested frames); the caller writes the count separately.
+  void bytes(const std::uint8_t* p, std::size_t n) { raw(p, n); }
+
+  /// Seal the frame: append the checksum of everything written so far, then
+  /// hand the buffer over.
+  std::vector<std::uint8_t> take() {
+    u32(fnv1a32(buf_.data(), buf_.size()));
+    return std::move(buf_);
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked cursor over the input buffer. Every accessor returns false
+/// once the buffer is exhausted; `error` keeps the FIRST failure reason.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : p_(data), end_(data + size) {}
+
+  std::size_t remaining() const { return static_cast<std::size_t>(end_ - p_); }
+  const std::uint8_t* cursor() const { return p_; }
+
+  bool u8(std::uint8_t* out, const char* what) {
+    if (!need(1, what)) return false;
+    *out = *p_++;
+    return true;
+  }
+  bool u16(std::uint16_t* out, const char* what) { return fixed(out, what); }
+  bool u32(std::uint32_t* out, const char* what) { return fixed(out, what); }
+  bool u64(std::uint64_t* out, const char* what) { return fixed(out, what); }
+  bool f64(double* out, const char* what) {
+    if (!fixed(out, what)) return false;
+    if (!std::isfinite(*out)) return fail("non-finite", what);
+    return true;
+  }
+
+  /// Read a u32 element count and pre-validate it against the bytes actually
+  /// left, so a corrupted count can neither overrun nor trigger a huge
+  /// allocation.
+  bool count(std::size_t entry_bytes, std::size_t* out, const char* what) {
+    std::uint32_t n = 0;
+    if (!u32(&n, what)) return false;
+    if (static_cast<std::size_t>(n) * entry_bytes > remaining())
+      return fail("list overruns buffer:", what);
+    *out = n;
+    return true;
+  }
+
+  /// Read a count-prefixed byte run (a nested frame) into `out`. The count is
+  /// pre-validated like any other list, so allocation is bounded by input size.
+  bool byte_run(std::vector<std::uint8_t>* out, const char* what) {
+    std::size_t n = 0;
+    if (!count(1, &n, what)) return false;
+    out->assign(p_, p_ + n);
+    p_ += n;
+    return true;
+  }
+
+  bool fail(const char* why, const char* what) {
+    if (error_.empty()) error_ = std::string(why) + " " + what;
+    return false;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  template <typename T>
+  bool fixed(T* out, const char* what) {
+    if (!need(sizeof *out, what)) return false;
+    std::memcpy(out, p_, sizeof *out);
+    p_ += sizeof *out;
+    return true;
+  }
+
+  bool need(std::size_t n, const char* what) {
+    if (remaining() >= n) return true;
+    return fail("truncated at", what);
+  }
+
+  const std::uint8_t* p_;
+  const std::uint8_t* end_;
+  std::string error_;
+};
+
+}  // namespace wdc::wire
+
+#endif  // WDC_PROTO_WIRE_BYTES_HPP

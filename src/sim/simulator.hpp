@@ -54,6 +54,11 @@ class Simulator {
   std::uint64_t events_executed() const { return executed_; }
   std::size_t events_pending() const { return queue_.size(); }
 
+  /// Time of the earliest pending event; kNever when the queue is empty.
+  /// Lets an external pacer (the wdc_serve run loop) sleep exactly until the
+  /// next simulated instant instead of polling.
+  SimTime next_event_time() const { return queue_.next_time(); }
+
   /// Kernel perf counters (all-zero when compiled out; see kernel_counters.hpp).
   KernelCounters kernel_counters() const { return queue_.counters(); }
 

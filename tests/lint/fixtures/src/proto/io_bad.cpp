@@ -1,0 +1,22 @@
+// Lint fixture: known-bad — blocking I/O inside a protocol directory.
+// Expected: exactly two `no-blocking-io` findings (::send, sleep_for).
+#include <chrono>
+#include <thread>
+
+namespace wdc::lintfix {
+
+// A member named send() is a legitimate project API: its declaration and
+// member-call sites must NOT fire.
+struct Channel {
+  void send(int frame);
+};
+
+int leak_answer(int fd, const void* buf, unsigned len) {
+  Channel ch;
+  ch.send(fd);
+  const long n = ::send(fd, buf, len, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  return static_cast<int>(n);
+}
+
+}  // namespace wdc::lintfix

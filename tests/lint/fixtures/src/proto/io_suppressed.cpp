@@ -1,0 +1,16 @@
+// Lint fixture: the same blocking calls silenced by allow() comments.
+// Expected: zero `no-blocking-io` findings.
+#include <chrono>
+#include <thread>
+
+namespace wdc::lintfix {
+
+int leak_answer_quietly(int fd, const void* buf, unsigned len) {
+  // wdc-lint: allow(no-blocking-io)
+  const long n = ::send(fd, buf, len, 0);
+  std::this_thread::sleep_for(  // wdc-lint: allow(no-blocking-io)
+      std::chrono::milliseconds(1));
+  return static_cast<int>(n);
+}
+
+}  // namespace wdc::lintfix

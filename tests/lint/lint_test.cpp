@@ -134,17 +134,45 @@ TEST(LintInlineCapture, ByValueStringCaptureFiresExactlyOnce) {
   EXPECT_NE(findings[0].message.find("label"), std::string::npos);
 }
 
+TEST(LintNoBlockingIo, SyscallAndSleepFireAtExactLines) {
+  const auto findings =
+      run_check(Check::kNoBlockingIo, {"src/proto/io_bad.cpp"});
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].check, Check::kNoBlockingIo);
+  EXPECT_EQ(findings[0].line, 17);
+  EXPECT_NE(findings[0].message.find("send"), std::string::npos);
+  EXPECT_EQ(findings[1].check, Check::kNoBlockingIo);
+  EXPECT_EQ(findings[1].line, 18);
+  EXPECT_NE(findings[1].message.find("sleep_for"), std::string::npos);
+}
+
+TEST(LintNoBlockingIo, AllowCommentSuppresses) {
+  const auto findings =
+      run_check(Check::kNoBlockingIo, {"src/proto/io_suppressed.cpp"});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintNoBlockingIo, DoesNotApplyToTheIoBoundary) {
+  // The same syscalls under src/net are the point of src/net.
+  auto files = load({"src/proto/io_bad.cpp"});
+  files[0].path = "/root/repo/src/net/io_bad.cpp";
+  Options opts;
+  opts.checks = {Check::kNoBlockingIo};
+  EXPECT_TRUE(wdc::lint::run_lint(files, opts).empty());
+}
+
 TEST(LintRunner, FindingsAreSortedAndPerCheckSelectionWorks) {
-  // All five checks over the whole fixture set: exactly the seven expected
-  // findings (three determinism fixtures, one each for the other four
-  // checks), in (file, line, col, check) order.
+  // All six checks over the whole fixture set: exactly the nine expected
+  // findings (three determinism fixtures, two no-blocking-io, one each for
+  // the other four checks), in (file, line, col, check) order.
   auto files = load({"src/sim/det_wall_clock.cpp", "src/sim/det_rand.cpp",
                      "src/sim/det_addr.cpp", "src/sim/det_suppressed.cpp",
                      "digest/metrics.hpp", "digest/digest.cpp",
                      "ordered/iter_bad.cpp", "twogate/emit_unguarded.cpp",
-                     "twogate/emit_guarded.cpp", "inline/capture_bad.cpp"});
+                     "twogate/emit_guarded.cpp", "inline/capture_bad.cpp",
+                     "src/proto/io_bad.cpp", "src/proto/io_suppressed.cpp"});
   const auto findings = wdc::lint::run_lint(files, Options{});
-  ASSERT_EQ(findings.size(), 7u);
+  ASSERT_EQ(findings.size(), 9u);
   for (std::size_t i = 1; i < findings.size(); ++i) {
     EXPECT_LE(findings[i - 1].file, findings[i].file);
   }

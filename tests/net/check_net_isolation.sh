@@ -1,0 +1,38 @@
+#!/bin/sh
+# Digest-inertness guard for the serve subsystem: nothing outside src/net,
+# tools/, and tests/net may include a net header, and the simulation libraries
+# must never link wdc_net. Referenced from src/net/CMakeLists.txt; registered
+# as the `net_isolation` ctest (label `serve`).
+#
+# Usage: check_net_isolation.sh <repo_root>
+set -eu
+
+root="${1:?usage: check_net_isolation.sh <repo_root>}"
+fail=0
+
+# 1. No `#include "net/...` leaks into the model code.
+leaks=$(grep -rn '#include "net/' "$root/src" "$root/tests" \
+  --include='*.hpp' --include='*.cpp' 2>/dev/null |
+  grep -v "^$root/src/net/" |
+  grep -v "^$root/tests/net/" || true)
+if [ -n "$leaks" ]; then
+  echo "net headers included outside src/net and tests/net:" >&2
+  echo "$leaks" >&2
+  fail=1
+fi
+
+# 2. No simulation-side CMake target links wdc_net (tools/ and tests/ choose
+# their own links; src/net itself is of course allowed).
+links=$(grep -rn 'wdc_net' "$root/src" --include='CMakeLists.txt' |
+  grep -v "^$root/src/net/" |
+  grep -v "^$root/src/CMakeLists.txt" || true)
+if [ -n "$links" ]; then
+  echo "simulation libraries must not link wdc_net:" >&2
+  echo "$links" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "net isolation holds: src/net stays outside the simulation link graph"

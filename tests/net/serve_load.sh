@@ -1,0 +1,83 @@
+#!/bin/sh
+# One serve_load_<protocol> ctest: boot wdc_serve on a Unix-domain socket,
+# drive it with wdc_load at high concurrency, and require the zero-drop
+# verdict (wdc_load exits 1 when any op goes unanswered outside configured
+# shedding — the ≥1000-concurrent-connection acceptance contract).
+#
+# Usage: serve_load.sh <bindir> <protocol>
+# Env:   WDC_SERVE_CONNS    concurrent connections   (default 1000)
+#        WDC_SERVE_REQUESTS requests per connection  (default 10)
+#        WDC_SERVE_SOAK_S   soak seconds; >0 switches wdc_load to duration
+#                           mode at this length (default 0 = request-counted)
+set -eu
+
+bindir="${1:?usage: serve_load.sh <bindir> <protocol>}"
+protocol="${2:?usage: serve_load.sh <bindir> <protocol>}"
+conns="${WDC_SERVE_CONNS:-1000}"
+requests="${WDC_SERVE_REQUESTS:-10}"
+soak_s="${WDC_SERVE_SOAK_S:-0}"
+
+workdir=$(mktemp -d)
+sock="$workdir/serve.sock"
+server_log="$workdir/server.log"
+server_pid=""
+
+cleanup() {
+  if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -TERM "$server_pid" 2>/dev/null || true
+    wait "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+# Small items keep the simulated MAC's broadcast airtime from dominating the
+# wall clock (the fleet's item fan-out is conns × requests frames either
+# way); the generous read/write timeouts tolerate the single-threaded load
+# driver draining millions of broadcast frames through one epoll loop — a
+# quiet client here is one waiting out the broadcast queue, not a dead one.
+"$bindir/wdc_serve" "unix=$sock" "protocol=$protocol" time_scale=50 \
+  seed=7 clients=64 traffic_model=off item_bytes=64 \
+  read_timeout_s=120 write_timeout_s=120 \
+  >"$server_log" 2>&1 &
+server_pid=$!
+
+# Wait for the daemon's "listening on" line (it binds before printing).
+i=0
+while ! grep -q "listening on" "$server_log" 2>/dev/null; do
+  if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "wdc_serve died before binding:" >&2
+    cat "$server_log" >&2
+    exit 1
+  fi
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "wdc_serve never bound $sock" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+if [ "$soak_s" -gt 0 ] 2>/dev/null; then
+  load_args="duration_s=$soak_s"
+else
+  load_args="requests=$requests"
+fi
+if ! "$bindir/wdc_load" "unix=$sock" "conns=$conns" in_flight=1 \
+  $load_args seed=11 stall_timeout_s=60; then
+  echo "wdc_load failed against protocol=$protocol:" >&2
+  cat "$server_log" >&2
+  exit 1
+fi
+
+kill -TERM "$server_pid"
+wait "$server_pid"
+server_pid=""
+# The daemon's exit report must agree: nothing dropped, nothing shed.
+if ! grep -q "dropped_answers 0" "$server_log" ||
+  ! grep -q "shed: frames 0, connections 0" "$server_log"; then
+  echo "wdc_serve dropped or shed answers for protocol=$protocol:" >&2
+  cat "$server_log" >&2
+  exit 1
+fi
+echo "protocol=$protocol conns=$conns: zero dropped answers"

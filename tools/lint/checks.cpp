@@ -1,5 +1,5 @@
 /// @file checks.cpp
-/// The five wdc_lint checks, implemented over SourceModel (see lint.hpp for
+/// The six wdc_lint checks, implemented over SourceModel (see lint.hpp for
 /// the invariant each one protects).
 
 #include <algorithm>
@@ -590,6 +590,99 @@ void check_inline_capture(const SourceModel& m, std::vector<Finding>& out) {
   }
 }
 
+// ------------------------------------------------------------ no-blocking-io
+
+/// Calls whose progress depends on the outside world: socket syscalls,
+/// readiness waits, and sleeps. src/net owns every one of them; the model
+/// directories must stay schedulable purely by the event kernel, which is
+/// what makes the simulator a deterministic twin of the wdc_serve daemon.
+const char* const kBlockingCalls[] = {
+    "socket",       "connect",      "accept",     "accept4",  "bind",
+    "listen",       "recv",         "recvfrom",   "recvmsg",  "send",
+    "sendto",       "sendmsg",      "select",     "pselect",  "poll",
+    "ppoll",        "epoll_wait",   "epoll_ctl",  "epoll_create",
+    "epoll_create1", "nanosleep",   "usleep",     "sleep",    "sleep_for",
+    "sleep_until"};
+
+bool is_blocking_name(const std::string& name) {
+  for (const char* s : kBlockingCalls)
+    if (name == s) return true;
+  return false;
+}
+
+bool is_sleep_name(const std::string& name) {
+  return name == "sleep_for" || name == "sleep_until";
+}
+
+/// Token (identifier or single punctuation char) immediately before `pos`.
+std::string prev_token(const std::string& code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1])) != 0)
+    --i;
+  if (i == 0) return "";
+  if (!ident_char(code[i - 1])) return std::string(1, code[i - 1]);
+  const std::size_t e = i;
+  while (i > 0 && ident_char(code[i - 1])) --i;
+  return code.substr(i, e - i);
+}
+
+/// For a `qualified` call site (identifier preceded by `::`), true when the
+/// qualifier itself is an identifier — `UplinkChannel::send(` (a definition)
+/// or `SomeNs::poll(` — as opposed to the global-scope form `::send(`.
+bool qualified_by_ident(const std::string& code, std::size_t pos) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1])) != 0)
+    --i;
+  if (i < 2 || code[i - 1] != ':' || code[i - 2] != ':') return false;
+  i -= 2;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1])) != 0)
+    --i;
+  return i > 0 && ident_char(code[i - 1]);
+}
+
+/// Keywords after which an identifier-then-`(` really is a call expression,
+/// not a declaration (`return poll(...)` vs `int poll(...)`).
+bool call_after_keyword(const std::string& tok) {
+  return tok == "return" || tok == "else" || tok == "do" ||
+         tok == "co_return" || tok == "co_await" || tok == "throw" ||
+         tok == "case";
+}
+
+void check_no_blocking_io(const SourceModel& m, std::vector<Finding>& out) {
+  const std::string path = "/" + m.path();
+  const bool protected_dir =
+      in_sim_dirs(m.path()) || path.find("/src/proto/") != std::string::npos;
+  if (!protected_dir) return;
+  const std::string& code = m.code();
+  for (const CallSite& call : m.calls()) {
+    if (!is_blocking_name(call.name)) continue;
+    // std::this_thread::sleep_for / sleep_until are always a violation: no
+    // spelling of them is a model-layer API.
+    if (!is_sleep_name(call.name)) {
+      // `ch.send(...)` / `mac->poll(...)`: project member APIs, not syscalls.
+      if (call.member) continue;
+      if (call.qualified) {
+        // `UplinkChannel::send(` (a definition) or `SomeNs::poll(` resolve
+        // inside the project; only the global-scope form `::send(` is the
+        // libc symbol.
+        if (qualified_by_ident(code, call.pos)) continue;
+      } else {
+        // `void send(Message)` — a declaration, not a call: the previous
+        // token is a type name.
+        const std::string tok = prev_token(code, call.pos);
+        if (!tok.empty() && ident_char(tok[0]) && !call_after_keyword(tok))
+          continue;
+      }
+    }
+    add_finding(out, m, call.pos, Check::kNoBlockingIo,
+                "'" + call.name +
+                    "()' is blocking I/O (socket syscall, readiness wait, or "
+                    "sleep); src/net is the only I/O boundary — model code "
+                    "must stay a pure function of the event kernel so the "
+                    "simulator remains wdc_serve's deterministic twin");
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
@@ -612,6 +705,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files,
     if (enabled(Check::kDeterminism)) check_determinism(*m, out);
     if (enabled(Check::kTwoGate)) check_two_gate(*m, out);
     if (enabled(Check::kInlineCapture)) check_inline_capture(*m, out);
+    if (enabled(Check::kNoBlockingIo)) check_no_blocking_io(*m, out);
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;

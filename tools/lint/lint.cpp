@@ -19,6 +19,7 @@ const char* to_string(Check c) {
     case Check::kOrderedIteration: return "ordered-iteration";
     case Check::kTwoGate: return "two-gate";
     case Check::kInlineCapture: return "inline-capture";
+    case Check::kNoBlockingIo: return "no-blocking-io";
   }
   return "?";
 }

@@ -26,6 +26,13 @@
 ///  * inline-capture    — lambdas handed to the event kernel's
 ///                        InlineFunction<void(),48> actions must not copy
 ///                        containers/std::string into their captures.
+///  * no-blocking-io    — socket syscalls, select/poll/epoll waits and
+///                        thread sleeps banned from the simulation and
+///                        protocol directories (src/sim, src/engine,
+///                        src/channel, src/mac, src/cache, src/faults,
+///                        src/proto): src/net is the project's only I/O
+///                        boundary, which is what keeps the simulator a
+///                        deterministic twin of the wdc_serve daemon.
 
 #include <optional>
 #include <string>
@@ -39,11 +46,12 @@ enum class Check {
   kOrderedIteration,
   kTwoGate,
   kInlineCapture,
+  kNoBlockingIo,
 };
 
 inline constexpr Check kAllChecks[] = {
     Check::kDeterminism, Check::kDigestPurity, Check::kOrderedIteration,
-    Check::kTwoGate, Check::kInlineCapture};
+    Check::kTwoGate, Check::kInlineCapture, Check::kNoBlockingIo};
 
 const char* to_string(Check c);
 std::optional<Check> check_from_string(const std::string& name);
@@ -62,7 +70,7 @@ struct SourceFile {
 };
 
 struct Options {
-  /// Checks to run; empty means all five.
+  /// Checks to run; empty means all six.
   std::vector<Check> checks;
 };
 
