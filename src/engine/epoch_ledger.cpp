@@ -1,0 +1,89 @@
+#include "engine/epoch_ledger.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace wdc {
+
+EpochLedger::EpochLedger(std::uint32_t cells, std::uint32_t lag_epochs)
+    : completed_(cells, 0), lag_(lag_epochs) {
+  if (cells == 0) throw std::invalid_argument("EpochLedger: cells >= 1");
+  if (lag_epochs == 0)
+    throw std::invalid_argument("EpochLedger: lag >= 1 (0 would deadlock the "
+                                "first epoch)");
+}
+
+std::uint64_t EpochLedger::min_completed_locked() const {
+  return *std::min_element(completed_.begin(), completed_.end());
+}
+
+std::uint64_t EpochLedger::min_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_completed_locked();
+}
+
+std::uint64_t EpochLedger::completed(std::uint32_t cell) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WDC_ASSERT(cell < completed_.size(), "cell ", cell, " of ", completed_.size());
+  return completed_[cell];
+}
+
+bool EpochLedger::admissible(std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch <= min_completed_locked() + lag_;
+}
+
+void EpochLedger::begin_epoch(std::uint32_t cell, std::uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  WDC_ASSERT(cell < completed_.size(), "cell ", cell, " of ", completed_.size());
+  WDC_CHECK(epoch == completed_[cell], "cell ", cell, " began epoch ", epoch,
+            " out of order (", completed_[cell], " completed)");
+  // Waits only on strictly earlier epochs of other cells, which every thread
+  // finishes in bounded work — progress, never wall-clock, so the wait is
+  // deadlock-free by construction (see docs/ANALYSIS.md).
+  cv_.wait(lock, [&] { return epoch <= min_completed_locked() + lag_; });
+}
+
+void EpochLedger::complete_epoch(std::uint32_t cell, std::uint64_t epoch,
+                                 std::uint64_t seal) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WDC_ASSERT(cell < completed_.size(), "cell ", cell, " of ", completed_.size());
+  WDC_CHECK(epoch == completed_[cell], "cell ", cell, " completed epoch ",
+            epoch, " out of order (", completed_[cell], " completed)");
+  if (seals_.size() <= epoch) seals_.resize(epoch + 1);
+  Seal& s = seals_[epoch];
+  if (!s.sealed) {
+    s.sealed = true;
+    s.value = seal;
+    s.sealer = cell;
+  } else {
+    WDC_CHECK(s.value == seal, "cell ", cell,
+              " diverged from the sealed report stream at epoch ", epoch,
+              " (sealed by cell ", s.sealer, ")");
+  }
+  completed_[cell] = epoch + 1;
+  cv_.notify_all();
+}
+
+void EpochLedger::abandon(std::uint32_t cell) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WDC_ASSERT(cell < completed_.size(), "cell ", cell, " of ", completed_.size());
+  completed_[cell] = std::numeric_limits<std::uint64_t>::max();
+  cv_.notify_all();
+}
+
+std::uint64_t EpochLedger::consume_seal(std::uint32_t cell,
+                                        std::uint64_t epoch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WDC_ASSERT(cell < completed_.size(), "cell ", cell, " of ", completed_.size());
+  WDC_CHECK(epoch < completed_[cell], "cell ", cell, " consumed epoch ", epoch,
+            " sealed at/after its lag horizon (", completed_[cell],
+            " completed)");
+  if (epoch >= seals_.size() || !seals_[epoch].sealed) return 0;
+  return seals_[epoch].value;
+}
+
+}  // namespace wdc

@@ -1,0 +1,87 @@
+#ifndef WDC_ENGINE_EPOCH_LEDGER_HPP
+#define WDC_ENGINE_EPOCH_LEDGER_HPP
+
+/// @file epoch_ledger.hpp
+/// The bounded-lag barrier of the sharded core.
+///
+/// Cells step through IR epochs in order. Before simulating epoch `e` a cell
+/// calls begin_epoch(cell, e), which blocks until `e` is within `lag` epochs
+/// of the slowest cell — with the default lag of 1, a cell may run at most
+/// one epoch ahead. After finishing `e` it calls complete_epoch with its
+/// content seal (the digest of the authoritative database state every
+/// broadcast report derives from): the first cell to arrive seals the epoch,
+/// and every later cell is verified against that seal (WDC_CHECK), proving
+/// all replica cells observed the identical report-content stream.
+///
+/// consume_seal enforces the lag-horizon contract: a cell may only read seals
+/// of epochs it has fully completed — consuming content sealed at or beyond
+/// its own horizon is a WDC_CHECK violation (the `-L scale` death test).
+///
+/// Thread-safety: all methods are safe to call from any executor thread. The
+/// wait is purely on simulation progress, never wall-clock (no sleeps — the
+/// lint determinism fence stays intact).
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace wdc {
+
+class EpochLedger {
+ public:
+  EpochLedger(std::uint32_t cells, std::uint32_t lag_epochs);
+
+  EpochLedger(const EpochLedger&) = delete;
+  EpochLedger& operator=(const EpochLedger&) = delete;
+
+  std::uint32_t cells() const { return static_cast<std::uint32_t>(completed_.size()); }
+  std::uint32_t lag() const { return lag_; }
+
+  /// Block until `cell` may enter `epoch` (epoch <= slowest cell + lag).
+  /// Epochs must be begun in order, 0,1,2,… per cell.
+  void begin_epoch(std::uint32_t cell, std::uint64_t epoch);
+
+  /// Non-blocking admission probe (what begin_epoch waits on); exposed for
+  /// the barrier property tests.
+  bool admissible(std::uint64_t epoch) const;
+
+  /// Publish `cell`'s content seal for a finished `epoch`. First publisher
+  /// seals; later publishers must match bit-for-bit (WDC_CHECK) — a mismatch
+  /// means the replica report streams diverged.
+  void complete_epoch(std::uint32_t cell, std::uint64_t epoch, std::uint64_t seal);
+
+  /// Sealed content of `epoch`, read by `cell`. WDC_CHECK: only epochs the
+  /// cell has fully completed are behind its lag horizon and observable.
+  std::uint64_t consume_seal(std::uint32_t cell, std::uint64_t epoch) const;
+
+  /// Epochs completed by the slowest cell.
+  std::uint64_t min_completed() const;
+
+  /// Epochs completed by `cell` (its lag horizon).
+  std::uint64_t completed(std::uint32_t cell) const;
+
+  /// Mark `cell` as never blocking anyone again (its executor died on an
+  /// exception). Keeps the surviving threads from waiting forever on a cell
+  /// that will not progress; the owning thread's error is rethrown after join.
+  void abandon(std::uint32_t cell);
+
+ private:
+  std::uint64_t min_completed_locked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Per cell: number of epochs fully completed (== the epoch it runs next).
+  std::vector<std::uint64_t> completed_;
+  struct Seal {
+    bool sealed = false;
+    std::uint64_t value = 0;
+    std::uint32_t sealer = 0;  ///< cell that arrived first (diagnostics)
+  };
+  std::vector<Seal> seals_;
+  std::uint32_t lag_;
+};
+
+}  // namespace wdc
+
+#endif  // WDC_ENGINE_EPOCH_LEDGER_HPP

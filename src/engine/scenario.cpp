@@ -161,6 +161,13 @@ Scenario Scenario::from_config(const Config& c, const Scenario& base) {
   s.radio = radio_table_from_string(c.get_string("radio", to_string(s.radio)));
   s.edge_timeslots = static_cast<unsigned>(c.get_int("timeslots", s.edge_timeslots));
 
+  s.shard_cells =
+      static_cast<std::uint32_t>(c.get_int("shard_cells", s.shard_cells));
+  s.shards = static_cast<std::uint32_t>(c.get_int("shards", s.shards));
+  s.shard_threads =
+      static_cast<std::uint32_t>(c.get_int("shard_threads", s.shard_threads));
+  s.shard_lag = static_cast<std::uint32_t>(c.get_int("shard_lag", s.shard_lag));
+
   s.validate();
   return s;
 }
@@ -183,6 +190,14 @@ void Scenario::validate() const {
     throw std::invalid_argument("Scenario: cache_capacity > 0");
   if (db.num_items == 0) throw std::invalid_argument("Scenario: items > 0");
   if (edge_timeslots == 0) throw std::invalid_argument("Scenario: timeslots >= 1");
+  if (shard_cells == 0) throw std::invalid_argument("Scenario: shard_cells >= 1");
+  if (shard_cells > num_clients)
+    throw std::invalid_argument(
+        "Scenario: shard_cells <= clients (every cell needs a client)");
+  if (shards == 0) throw std::invalid_argument("Scenario: shards >= 1");
+  if (shard_lag == 0)
+    throw std::invalid_argument("Scenario: shard_lag >= 1 (0 would serialize "
+                                "cells inside one epoch)");
   if (trace.enabled && trace.ring_capacity == 0)
     throw std::invalid_argument("Scenario: trace_ring > 0 when tracing");
   faults.validate();

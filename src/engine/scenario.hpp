@@ -75,6 +75,29 @@ struct Scenario {
   RadioTable radio = RadioTable::kEdge;
   unsigned edge_timeslots = 4;  ///< EDGE downlink timeslot bundle
 
+  // --- sharded-cell within-run parallelism (engine/sharded.hpp) ---
+  /// The shard map: number of independent sub-cells the client population is
+  /// partitioned into (contiguous blocks). Part of the *scenario semantics*:
+  /// each cell is a full replica system (own kernel, MAC, server, fault
+  /// injector) over its client block, synchronized at IR-epoch barriers.
+  /// `shard_cells=1` is exactly the legacy single-cell simulation.
+  std::uint32_t shard_cells = 1;
+  /// Executor shards the cells are distributed over (cell c → executor
+  /// c % shards). Execution-only: results are a pure function of
+  /// (scenario, seed, shard map) and independent of this knob.
+  std::uint32_t shards = 1;
+  /// OS threads running the executors (executor x → thread x % shard_threads;
+  /// 0 = one thread per executor, capped at the hardware). Execution-only,
+  /// like `shards`.
+  std::uint32_t shard_threads = 0;
+  /// Bounded-lag horizon in IR epochs: a cell may run at most this many
+  /// epochs ahead of the slowest cell. Execution-only (any lag >= 1 admits
+  /// the same per-cell event order).
+  std::uint32_t shard_lag = 1;
+
+  /// True when the run uses the sharded multi-cell core.
+  bool sharded() const { return shard_cells > 1; }
+
   /// The MCS table the scenario's radio uses.
   McsTable make_mcs_table() const;
 

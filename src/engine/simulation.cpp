@@ -3,13 +3,22 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/digest.hpp"
+#include "engine/sharded.hpp"
 #include "proto/hyb.hpp"
 
 namespace wdc {
 
 Simulation::Simulation(Scenario scenario)
-    : scenario_(std::move(scenario)), table_(scenario_.make_mcs_table()) {
+    : Simulation(scenario, ClientSpan{0, scenario.num_clients}) {}
+
+Simulation::Simulation(Scenario scenario, ClientSpan span)
+    : scenario_(std::move(scenario)), span_(span),
+      table_(scenario_.make_mcs_table()) {
   scenario_.validate();
+  if (span_.begin > span_.end || span_.end > scenario_.num_clients ||
+      span_.size() == 0)
+    throw std::invalid_argument("Simulation: client span out of range");
   Rng master(scenario_.seed);
   Rng geo_rng = master.split();
   Rng chan_rng = master.split();
@@ -23,7 +32,7 @@ Simulation::Simulation(Scenario scenario)
   // a disabled injector draws nothing — so seeds chain identically with faults
   // compiled in, disabled, or compiled out (the digest tests prove it).
   faults_ = std::make_unique<FaultInjector>(sim_, scenario_.faults,
-                                            scenario_.num_clients, master.split());
+                                            span_.size(), master.split());
   mac_->set_fault_injector(faults_.get());
   uplink_->set_fault_injector(faults_.get());
   db_ = std::make_unique<Database>(sim_, scenario_.db, db_rng);
@@ -32,23 +41,34 @@ Simulation::Simulation(Scenario scenario)
 
   // Per-client channel processes and sleep models, then the protocol clients
   // (which register with the MAC in construction order ⇒ ClientId = index).
+  // Every loop walks the GLOBAL client range and derives each client's RNG
+  // streams at its global index g — out-of-span clients burn exactly the
+  // splits/draws the legacy construction consumed for them, so a client's
+  // randomness is invariant under the shard map and the full span reproduces
+  // the single-cell seed chain bit-for-bit.
   const std::uint32_t M = scenario_.num_clients;
-  links_.reserve(M);
-  sleeps_.reserve(M);
-  clients_.reserve(M);
-  queries_.reserve(M);
-  for (std::uint32_t i = 0; i < M; ++i) {
+  links_.reserve(span_.size());
+  sleeps_.reserve(span_.size());
+  clients_.reserve(span_.size());
+  queries_.reserve(span_.size());
+  for (std::uint32_t g = 0; g < M; ++g) {
     Rng link_rng = chan_rng.split();
-    links_.push_back(
-        make_snr_process(scenario_.fading, client_mean_snr(geo_rng), link_rng));
+    const double mean_snr = client_mean_snr(geo_rng);
+    Rng sleep_rng = wl_rng.split();
+    if (g < span_.begin || g >= span_.end) continue;
+    const std::uint32_t i = g - span_.begin;
+    links_.push_back(make_snr_process(scenario_.fading, mean_snr, link_rng));
     sleeps_.push_back(std::make_unique<SleepModel>(
-        sim_, scenario_.sleep, wl_rng.split(),
+        sim_, scenario_.sleep, sleep_rng,
         [this, i](bool awake) {
           if (i < clients_.size()) clients_[i]->on_sleep_transition(awake);
         },
         static_cast<ClientId>(i)));
   }
-  for (std::uint32_t i = 0; i < M; ++i) {
+  for (std::uint32_t g = 0; g < M; ++g) {
+    Rng client_rng = wl_rng.split();
+    if (g < span_.begin || g >= span_.end) continue;
+    const std::uint32_t i = g - span_.begin;
     SleepModel* sleep = sleeps_[i].get();
     FaultInjector* faults = faults_.get();
     // A churned-away client is deaf exactly like a sleeping one: the composed
@@ -57,17 +77,20 @@ Simulation::Simulation(Scenario scenario)
         scenario_.protocol, sim_, *mac_, *uplink_, *server_, *db_, scenario_.proto,
         links_[i].get(),
         [sleep, faults, i] { return sleep->awake() && faults->connected(i); },
-        *sink_, wl_rng.split()));
+        *sink_, client_rng));
     if (clients_.back()->id() != i)
       throw std::logic_error("Simulation: client registration order violated");
     clients_.back()->set_fault_injector(faults_.get());
   }
-  for (std::uint32_t i = 0; i < M; ++i) {
+  for (std::uint32_t g = 0; g < M; ++g) {
+    Rng query_rng = wl_rng.split();
+    if (g < span_.begin || g >= span_.end) continue;
+    const std::uint32_t i = g - span_.begin;
     ClientProtocol* client = clients_[i].get();
     SleepModel* sleep = sleeps_[i].get();
     FaultInjector* faults = faults_.get();
     queries_.push_back(std::make_unique<QueryGenerator>(
-        sim_, scenario_.query, scenario_.db.num_items, wl_rng.split(),
+        sim_, scenario_.query, scenario_.db.num_items, query_rng,
         [sleep, faults, i] { return sleep->awake() && faults->connected(i); },
         [client](ItemId item) { client->on_query(item); }));
   }
@@ -77,8 +100,12 @@ Simulation::Simulation(Scenario scenario)
   faults_->set_server_handler(
       [this](bool down) { server_->on_server_state(down); });
 
+  // The cell's traffic generator spans its local population (frame times and
+  // sizes come from the shared wl stream, so they are identical across
+  // cells); each cell carries the full offered load, matching the replica
+  // semantics of shard_cells > 1 documented in docs/ANALYSIS.md.
   traffic_ = std::make_unique<TrafficGenerator>(
-      sim_, scenario_.traffic, M, wl_rng.split(),
+      sim_, scenario_.traffic, span_.size(), wl_rng.split(),
       [this](const TrafficFrame& frame) { server_->on_downlink_frame(frame); });
 
   // Tracing is configured last (it never consumes randomness, so enabling it
@@ -119,122 +146,60 @@ Metrics Simulation::run() {
   return collect();
 }
 
-Metrics Simulation::collect() const {
-  Metrics m;
-  m.seed = scenario_.seed;
-  m.sim_time_s = sim_.now();
-  m.measured_s = sim_.now() - scenario_.warmup_s;
-  m.events = sim_.events_executed();
+RunStats Simulation::run_stats() const {
+  RunStats rs;
+  rs.cells = 1;
+  rs.now_s = sim_.now();
+  rs.events = sim_.events_executed();
+  rs.clients = clients_.size();
 
-  const StatsSink& s = *sink_;
-  m.queries = s.queries();
-  m.answered = s.answered();
-  m.hits = s.hits();
-  m.misses = s.misses();
-  m.stale_serves = s.stale_serves();
-  m.dropped_queries = s.dropped();
-  m.hit_ratio = s.hit_ratio();
-  m.mean_latency_s = s.latency().mean();
-  m.p50_latency_s = s.latency_hist().quantile(0.50);
-  m.p90_latency_s = s.latency_hist().quantile(0.90);
-  m.p99_latency_s = s.latency_hist().quantile(0.99);
-  m.mean_hit_latency_s = s.hit_latency().mean();
-  m.mean_miss_latency_s = s.miss_latency().mean();
+  rs.sink = *sink_;
+  rs.uplink_requests = uplink_->requests();
 
-  m.uplink_requests = uplink_->requests();
-  m.uplink_per_query =
-      m.answered ? static_cast<double>(m.uplink_requests) /
-                       static_cast<double>(m.answered)
-                 : 0.0;
-  m.request_retries = s.request_retries();
-
-  m.reports_sent = server_->reports_sent();
-  m.minis_sent = server_->minis_sent();
-  m.reports_heard = s.reports_heard();
-  m.reports_missed = s.reports_missed();
-  const auto offered = m.reports_heard + m.reports_missed;
-  m.report_loss_rate =
-      offered ? static_cast<double>(m.reports_missed) / static_cast<double>(offered)
-              : 0.0;
-  m.cache_drops = s.cache_drops();
-  m.false_invalidations = s.false_invalidations();
-  m.digests_applied = s.digests_applied();
-  m.digest_answers = s.digest_answers();
-
-  m.mac_busy_frac = mac_->busy_fraction(sim_.now());
-  const auto& ir = mac_->stats(MsgKind::kInvalidationReport);
-  const auto& mini = mac_->stats(MsgKind::kMiniReport);
-  const auto& item = mac_->stats(MsgKind::kItemData);
-  const auto& data = mac_->stats(MsgKind::kDownlinkData);
-  m.report_airtime_s = ir.airtime_s + mini.airtime_s;
-  m.item_airtime_s = item.airtime_s;
-  m.data_airtime_s = data.airtime_s;
-  m.report_overhead_frac =
-      sim_.now() > 0.0 ? m.report_airtime_s / sim_.now() : 0.0;
-  m.data_queue_delay_s = data.queue_delay.mean();
-  m.mean_broadcast_mcs = mac_->broadcast_mcs_used().mean();
-  m.report_bits = ir.bits + mini.bits;
-  m.piggyback_bits = server_->digest_bits();
-  m.item_broadcasts = server_->item_broadcasts();
-  m.coalesced_requests = server_->coalesced_requests();
-  m.data_frames_dropped = data.dropped;
-
-  m.listen_airtime_s = s.listen_airtime_s();
-  m.listen_airtime_per_query =
-      m.answered ? m.listen_airtime_s / static_cast<double>(m.answered) : 0.0;
-  if (!clients_.empty() && sim_.now() > 0.0) {
-    double on = 0.0;
-    for (const auto& c : clients_) on += c->radio_on_time(sim_.now());
-    m.radio_on_frac = on / (sim_.now() * static_cast<double>(clients_.size()));
-  }
-
-  m.lair_deferred = server_->lair_deferred();
-  m.lair_mean_deferral_s =
-      m.lair_deferred
-          ? server_->lair_deferral_s() / static_cast<double>(m.lair_deferred)
-          : 0.0;
+  rs.reports_sent = server_->reports_sent();
+  rs.minis_sent = server_->minis_sent();
+  rs.item_broadcasts = server_->item_broadcasts();
+  rs.coalesced_requests = server_->coalesced_requests();
+  rs.digest_bits = server_->digest_bits();
+  rs.lair_deferred = server_->lair_deferred();
+  rs.lair_deferral_s = server_->lair_deferral_s();
+  rs.crash_suppressed = server_->crash_suppressed();
   if (const auto* hyb = dynamic_cast<const ServerHyb*>(server_.get()))
-    m.hyb_mean_m = hyb->m_history().mean();
+    rs.hyb_m = hyb->m_history();
 
-  // Latency decomposition (zero when tracing is off or compiled out). Means
-  // over counted answered queries; excluded from digests like m.kernel.
-  const TraceDecomp td = sim_.trace().decomposition();
-  if (td.answers > 0) {
-    const double n = static_cast<double>(td.answers);
-    m.ir_wait_s = td.ir_wait_s / n;
-    m.uplink_s = td.uplink_s / n;
-    m.bcast_wait_s = td.bcast_wait_s / n;
-    m.airtime_s = td.airtime_s / n;
+  rs.ir = mac_->stats(MsgKind::kInvalidationReport);
+  rs.mini = mac_->stats(MsgKind::kMiniReport);
+  rs.item = mac_->stats(MsgKind::kItemData);
+  rs.data = mac_->stats(MsgKind::kDownlinkData);
+  rs.busy_frac_sum = mac_->busy_fraction(sim_.now());
+  rs.bcast_mcs = mac_->broadcast_mcs_used();
+
+  for (const auto& c : clients_) rs.radio_on_s += c->radio_on_time(sim_.now());
+
+  rs.decomp = sim_.trace().decomposition();
+  rs.trace_events = sim_.trace().events();
+  rs.trace_dropped = sim_.trace().dropped();
+  rs.faults = faults_->stats();
+  rs.kernel = sim_.kernel_counters();
+  return rs;
+}
+
+Metrics Simulation::collect() const { return finalize_run(scenario_, run_stats()); }
+
+std::uint64_t Simulation::epoch_seal() const {
+  Fnv1aDigest d;
+  d.mix(sim_.now());
+  d.mix(db_->total_updates());
+  const std::uint32_t n = db_->num_items();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    d.mix(db_->version(i));
+    d.mix(db_->last_update(i));
   }
-  m.trace_events = sim_.trace().events();
-  m.trace_dropped = sim_.trace().dropped();
-
-  // Fault/recovery telemetry (all zero when the layer is disabled or compiled
-  // out). Excluded from digests like m.kernel and the decomposition means.
-  const FaultStats fs = faults_->stats();
-  m.fault_ir_drops = fs.ir_drops;
-  m.fault_bcast_drops = fs.bcast_drops;
-  m.fault_uplink_drops = fs.uplink_drops;
-  m.churn_events = fs.churn_events;
-  m.churn_rejoins = fs.rejoins;
-  m.recoveries = fs.recoveries;
-  m.mean_recovery_s =
-      fs.recoveries
-          ? fs.recovery_time_s / static_cast<double>(fs.recoveries)
-          : 0.0;
-  m.stale_exposure = fs.stale_exposure;
-  m.fault_corrupt_rejected = fs.corrupt_rejected;
-  m.fault_corrupt_accepted = fs.corrupt_accepted;
-  m.server_crashes = fs.server_crashes;
-  m.server_recoveries = fs.server_recoveries;
-  m.crash_suppressed = server_->crash_suppressed();
-  m.schedule_misses = fs.schedule_misses;
-
-  m.kernel = sim_.kernel_counters();
-  return m;
+  return d.value();
 }
 
 Metrics run_scenario(const Scenario& scenario) {
+  if (scenario.sharded()) return ShardedSimulation(scenario).run();
   Simulation sim(scenario);
   return sim.run();
 }

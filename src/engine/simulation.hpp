@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "engine/metrics.hpp"
+#include "engine/run_stats.hpp"
 #include "engine/scenario.hpp"
 #include "faults/fault_injector.hpp"
 #include "mac/broadcast_mac.hpp"
@@ -32,9 +33,25 @@
 
 namespace wdc {
 
+/// Contiguous block of global client indices one cell simulates (sharded
+/// runs; the legacy constructor uses the full [0, num_clients) span).
+struct ClientSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;  ///< one past the last client
+  std::uint32_t size() const { return end - begin; }
+};
+
 class Simulation {
  public:
   explicit Simulation(Scenario scenario);
+
+  /// Build one cell of a sharded run: only clients in `span` exist here, but
+  /// every per-client RNG stream is derived at its GLOBAL index — the seed
+  /// chain draws (and discards) for out-of-span clients in exactly the legacy
+  /// order, so client g's randomness is the same no matter which cell owns it
+  /// and the full span reproduces the legacy construction bit-for-bit.
+  Simulation(Scenario scenario, ClientSpan span);
+
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -43,10 +60,22 @@ class Simulation {
   /// Run to scenario.sim_time_s and collect metrics. Call once.
   Metrics run();
 
-  /// Advance the clock without finishing (incremental runs for tests/examples).
+  /// Advance the clock without finishing (incremental runs for tests/examples
+  /// and the sharded core's epoch stepping).
   void run_until(SimTime t) { sim_.run_until(t); }
   /// Collect metrics for the interval simulated so far.
   Metrics collect() const;
+
+  /// Raw accumulator snapshot (the sharded core folds one per cell, in cell
+  /// order, then calls finalize_run — see run_stats.hpp).
+  RunStats run_stats() const;
+
+  /// Digest of the authoritative database state (update count, per-item
+  /// versions and update times) plus the clock — the content every broadcast
+  /// report derives from. Cells publish it at each epoch barrier; the ledger
+  /// seals the first copy and WDC_CHECKs the rest against it, proving all
+  /// cells observed the identical report-content stream.
+  std::uint64_t epoch_seal() const;
 
   // --- white-box accessors ---
   Simulator& simulator() { return sim_; }
@@ -58,11 +87,15 @@ class Simulation {
   const StatsSink& sink() const { return *sink_; }
   const Scenario& scenario() const { return scenario_; }
   const FaultInjector& faults() const { return *faults_; }
+  const ClientSpan& span() const { return span_; }
+  /// Global index of local client `i` (cells address clients locally).
+  std::uint32_t global_client_id(std::uint32_t i) const { return span_.begin + i; }
 
  private:
   double client_mean_snr(Rng& rng) const;
 
   Scenario scenario_;
+  ClientSpan span_;
   Simulator sim_;
   McsTable table_;
   std::unique_ptr<BroadcastMac> mac_;

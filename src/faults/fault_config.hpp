@@ -103,6 +103,24 @@ struct FaultStats {
   /// Scripted point events whose exact timestamp never matched a hook call —
   /// a replay drifting from its recording shows up here, not silently.
   std::uint64_t schedule_misses = 0;
+
+  /// Fold another injector's counters into this one (sharded metrics merge —
+  /// each cell owns an independent injector; totals are plain sums).
+  void merge_from(const FaultStats& other) {
+    ir_drops += other.ir_drops;
+    bcast_drops += other.bcast_drops;
+    uplink_drops += other.uplink_drops;
+    churn_events += other.churn_events;
+    rejoins += other.rejoins;
+    recoveries += other.recoveries;
+    recovery_time_s += other.recovery_time_s;
+    stale_exposure += other.stale_exposure;
+    corrupt_rejected += other.corrupt_rejected;
+    corrupt_accepted += other.corrupt_accepted;
+    server_crashes += other.server_crashes;
+    server_recoveries += other.server_recoveries;
+    schedule_misses += other.schedule_misses;
+  }
 };
 
 }  // namespace wdc

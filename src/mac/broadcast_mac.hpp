@@ -62,6 +62,18 @@ struct MacKindStats {
   double airtime_s = 0.0;
   Bits bits = 0;
   Summary queue_delay;            ///< enqueue → start of first transmission
+
+  /// Fold another cell's per-kind stats into this one (sharded metrics merge;
+  /// merging into a default-constructed instance is a bit-exact copy).
+  void merge_from(const MacKindStats& other) {
+    enqueued += other.enqueued;
+    transmitted += other.transmitted;
+    completed += other.completed;
+    dropped += other.dropped;
+    airtime_s += other.airtime_s;
+    bits += other.bits;
+    queue_delay.merge(other.queue_delay);
+  }
 };
 
 class BroadcastMac {

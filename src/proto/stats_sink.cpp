@@ -1,5 +1,7 @@
 #include "proto/stats_sink.hpp"
 
+#include <algorithm>
+
 namespace wdc {
 
 void StatsSink::record_query(SimTime qtime) {
@@ -33,6 +35,29 @@ void StatsSink::record_answer(SimTime qtime, double latency_s, bool hit, bool st
 void StatsSink::record_dropped(SimTime qtime) {
   if (!counted(qtime)) return;
   ++dropped_;
+}
+
+void StatsSink::merge_from(const StatsSink& other) {
+  queries_ += other.queries_;
+  answered_ += other.answered_;
+  hits_ += other.hits_;
+  misses_ += other.misses_;
+  stale_serves_ += other.stale_serves_;
+  dropped_ += other.dropped_;
+  reports_heard_ += other.reports_heard_;
+  reports_missed_ += other.reports_missed_;
+  digests_applied_ += other.digests_applied_;
+  digest_answers_ += other.digest_answers_;
+  cache_drops_ += other.cache_drops_;
+  false_invalidations_ += other.false_invalidations_;
+  request_retries_ += other.request_retries_;
+  listen_airtime_s_ += other.listen_airtime_s_;
+  // The arrival-order audit is per-cell; the merged sink is read-only.
+  last_query_time_ = std::max(last_query_time_, other.last_query_time_);
+  latency_.merge(other.latency_);
+  hit_latency_.merge(other.hit_latency_);
+  miss_latency_.merge(other.miss_latency_);
+  latency_hist_.merge(other.latency_hist_);
 }
 
 double StatsSink::hit_ratio() const {

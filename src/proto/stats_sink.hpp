@@ -62,6 +62,12 @@ class StatsSink {
 
   double hit_ratio() const;
 
+  /// Fold another sink's accumulators into this one (the sharded core's
+  /// ordered per-cell metrics merge). Counters add; Summary/Histogram merge.
+  /// Merging a populated sink into a default-constructed one reproduces the
+  /// source bit-for-bit, which is what keeps single-cell runs pinned.
+  void merge_from(const StatsSink& other);
+
  private:
   SimTime warmup_;
   std::uint64_t queries_ = 0;

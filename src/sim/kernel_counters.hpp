@@ -33,6 +33,20 @@ struct KernelCounters {
   std::uint64_t slots_reused = 0;  ///< pool recycling hits (vs fresh slots)
   std::uint64_t heap_peak = 0;     ///< heap depth high-water mark
   std::uint64_t scheduled_by_prio[kNumEventPriorities] = {};
+
+  /// Fold another kernel's counters into this one (sharded metrics merge —
+  /// one kernel per cell). Sums everywhere except the high-water mark, where
+  /// the cells' peaks are concurrent and the max is the honest aggregate.
+  void merge_from(const KernelCounters& other) {
+    scheduled += other.scheduled;
+    fired += other.fired;
+    cancelled += other.cancelled;
+    dead_skipped += other.dead_skipped;
+    slots_reused += other.slots_reused;
+    if (other.heap_peak > heap_peak) heap_peak = other.heap_peak;
+    for (std::size_t i = 0; i < kNumEventPriorities; ++i)
+      scheduled_by_prio[i] += other.scheduled_by_prio[i];
+  }
 };
 
 #if WDC_PERF_COUNTERS_ENABLED

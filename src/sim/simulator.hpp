@@ -9,9 +9,12 @@
 ///   sim.schedule_in(1.0, [] { ... });
 ///   sim.run_until(3600.0);
 ///
-/// All model components hold a Simulator& and schedule through it. The kernel is
-/// single-threaded by design (parallelism in this project is across replications,
-/// never inside one simulation — see DESIGN.md §6).
+/// All model components hold a Simulator& and schedule through it. The kernel
+/// is single-threaded by design: within-run parallelism lives one layer up,
+/// where ShardedSimulation runs one serial kernel per sub-cell behind a
+/// bounded-lag epoch barrier (engine/sharded.hpp), and replication/sweep
+/// parallelism runs whole simulations per worker (engine/replication.hpp).
+/// Nothing inside a kernel is ever shared across threads.
 
 #include <cstdint>
 

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "engine/epoch_ledger.hpp"
+#include "util/check.hpp"
+
+/// EpochLedger property and death tests (ctest label `scale`).
+///
+/// The bounded-lag barrier contract: cells step epochs in order, may run at
+/// most `lag` epochs ahead of the slowest cell, publish a content seal per
+/// epoch that later cells must match bit-for-bit, and may only consume seals
+/// of epochs behind their own lag horizon — each violation is a WDC_CHECK
+/// abort (death tests, compiled-checks builds only).
+
+namespace wdc {
+namespace {
+
+TEST(EpochLedger, AdmitsExactlyOneEpochAheadAtLagOne) {
+  EpochLedger ledger(/*cells=*/3, /*lag_epochs=*/1);
+  EXPECT_EQ(ledger.min_completed(), 0u);
+  // Nobody has completed anything: epochs 0 and 1 are inside the window,
+  // epoch 2 would be two ahead of the slowest cell.
+  EXPECT_TRUE(ledger.admissible(0));
+  EXPECT_TRUE(ledger.admissible(1));
+  EXPECT_FALSE(ledger.admissible(2));
+
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    ledger.begin_epoch(c, 0);
+    ledger.complete_epoch(c, 0, /*seal=*/42);
+  }
+  EXPECT_EQ(ledger.min_completed(), 1u);
+  EXPECT_TRUE(ledger.admissible(2));
+  EXPECT_FALSE(ledger.admissible(3));
+}
+
+TEST(EpochLedger, WiderLagWidensTheWindow) {
+  EpochLedger ledger(/*cells=*/2, /*lag_epochs=*/3);
+  EXPECT_TRUE(ledger.admissible(3));
+  EXPECT_FALSE(ledger.admissible(4));
+}
+
+TEST(EpochLedger, FirstCompleterSealsLaterCellsVerify) {
+  EpochLedger ledger(/*cells=*/2, /*lag_epochs=*/1);
+  ledger.begin_epoch(0, 0);
+  ledger.complete_epoch(0, 0, /*seal=*/0xabcdefull);
+  ledger.begin_epoch(1, 0);
+  ledger.complete_epoch(1, 0, /*seal=*/0xabcdefull);  // matches: fine
+  EXPECT_EQ(ledger.consume_seal(0, 0), 0xabcdefull);
+  EXPECT_EQ(ledger.consume_seal(1, 0), 0xabcdefull);
+}
+
+TEST(EpochLedger, BlockedBeginIsReleasedByTheSlowCellCompleting) {
+  EpochLedger ledger(/*cells=*/2, /*lag_epochs=*/1);
+  // Cell 0 sprints through epochs 0 and 1, then must block on epoch 2 until
+  // cell 1 completes epoch 0 (lag-1 window).
+  ledger.begin_epoch(0, 0);
+  ledger.complete_epoch(0, 0, 7);
+  ledger.begin_epoch(0, 1);
+  ledger.complete_epoch(0, 1, 8);
+  ASSERT_FALSE(ledger.admissible(2));
+
+  std::atomic<bool> entered{false};
+  std::thread fast([&] {
+    ledger.begin_epoch(0, 2);  // blocks
+    entered.store(true);
+  });
+  EXPECT_FALSE(entered.load());
+  ledger.begin_epoch(1, 0);
+  ledger.complete_epoch(1, 0, 7);  // slow cell catches up → window slides
+  fast.join();
+  EXPECT_TRUE(entered.load());
+}
+
+TEST(EpochLedger, AbandonReleasesWaiters) {
+  EpochLedger ledger(/*cells=*/2, /*lag_epochs=*/1);
+  ledger.begin_epoch(0, 0);
+  ledger.complete_epoch(0, 0, 1);
+  ledger.begin_epoch(0, 1);
+  ledger.complete_epoch(0, 1, 2);
+  std::thread fast([&] { ledger.begin_epoch(0, 2); });
+  ledger.abandon(1);  // cell 1's executor died — nobody waits on it again
+  fast.join();
+  SUCCEED();
+}
+
+TEST(EpochLedger, RejectsDegenerateConfigurations) {
+  EXPECT_THROW(EpochLedger(0, 1), std::invalid_argument);
+  EXPECT_THROW(EpochLedger(2, 0), std::invalid_argument);
+}
+
+using EpochLedgerDeathTest = ::testing::Test;
+
+TEST(EpochLedgerDeathTest, ConsumingASealAtOrBeyondTheLagHorizonAborts) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EpochLedger ledger(/*cells=*/2, /*lag_epochs=*/1);
+  ledger.begin_epoch(0, 0);
+  ledger.complete_epoch(0, 0, /*seal=*/99);
+  // Cell 1 has completed nothing: epoch 0's seal was published at/after its
+  // horizon, and a shard may never consume a broadcast sealed after its lag
+  // horizon.
+  EXPECT_DEATH(ledger.consume_seal(1, 0),
+               "WDC invariant violated.*sealed at/after its lag horizon");
+  // The publishing cell itself is behind its own horizon — allowed.
+  EXPECT_EQ(ledger.consume_seal(0, 0), 99u);
+#endif
+}
+
+TEST(EpochLedgerDeathTest, DivergingFromTheSealedReportStreamAborts) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EpochLedger ledger(/*cells=*/2, /*lag_epochs=*/1);
+  ledger.begin_epoch(0, 0);
+  ledger.complete_epoch(0, 0, /*seal=*/0x1111);
+  ledger.begin_epoch(1, 0);
+  EXPECT_DEATH(ledger.complete_epoch(1, 0, /*seal=*/0x2222),
+               "WDC invariant violated.*diverged from the sealed report "
+               "stream at epoch 0");
+#endif
+}
+
+TEST(EpochLedgerDeathTest, OutOfOrderEpochsAbort) {
+#if !WDC_CHECKS_ENABLED
+  GTEST_SKIP() << "WDC checks compiled out of this build";
+#else
+  EpochLedger ledger(/*cells=*/2, /*lag_epochs=*/2);
+  EXPECT_DEATH(ledger.begin_epoch(0, 1),
+               "WDC invariant violated.*out of order");
+  ledger.begin_epoch(0, 0);
+  EXPECT_DEATH(ledger.complete_epoch(0, 1, 0),
+               "WDC invariant violated.*out of order");
+#endif
+}
+
+}  // namespace
+}  // namespace wdc

@@ -1,0 +1,55 @@
+#ifndef WDC_TESTS_SCALE_SCALE_SCENARIO_HPP
+#define WDC_TESTS_SCALE_SCALE_SCENARIO_HPP
+
+/// Shared operating point of the `-L scale` tier: a population large enough
+/// that 8-way sharding leaves every cell a real simulation (12 clients), yet
+/// cheap enough to run 4 executor/thread combinations for all 11 protocols in
+/// every ctest invocation.
+///
+/// WDC_SCALE_PROTOCOLS=<csv of protocol names> narrows the parameterized
+/// suites (the TSan CI job sets it — sanitized shard threads are ~10× slower,
+/// and three protocols already exercise every barrier path).
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "engine/scenario.hpp"
+#include "golden_table.hpp"
+#include "util/string_util.hpp"
+
+namespace wdc {
+
+inline Scenario scale_scenario(ProtocolKind p) {
+  Scenario s;
+  s.protocol = p;
+  s.seed = 777;
+  s.num_clients = 96;
+  s.db.num_items = 120;
+  s.sim_time_s = 120.0;
+  s.warmup_s = 30.0;
+  s.sleep.sleep_ratio = 0.1;
+  s.traffic.offered_bps = 10e3;
+  s.shard_cells = 8;
+  return s;
+}
+
+/// kGolden filtered by WDC_SCALE_PROTOCOLS (all entries when unset).
+inline std::vector<GoldenEntry> scale_entries() {
+  std::vector<GoldenEntry> out(std::begin(kGolden), std::end(kGolden));
+  const char* env = std::getenv("WDC_SCALE_PROTOCOLS");
+  if (env == nullptr || *env == '\0') return out;
+  std::vector<GoldenEntry> picked;
+  for (const auto& tok : split(env, ',')) {
+    const std::string name(trim(tok));
+    if (name.empty()) continue;
+    const ProtocolKind p = protocol_from_string(name);
+    for (const auto& e : out)
+      if (e.protocol == p) picked.push_back(e);
+  }
+  return picked.empty() ? out : picked;
+}
+
+}  // namespace wdc
+
+#endif  // WDC_TESTS_SCALE_SCALE_SCENARIO_HPP
